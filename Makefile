@@ -1,0 +1,41 @@
+# Flex — zero-reserved-power datacenters (ISCA 2021 reproduction).
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerates every figure/result of the paper's evaluation.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s -run=Fuzz .
+	$(GO) test -fuzz=FuzzImpactFunction -fuzztime=30s -run=Fuzz .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capacityplanning
+	$(GO) run ./examples/costsavings
+	$(GO) run ./examples/yearinthelife
+	$(GO) run ./examples/telemetrypipeline
+	$(GO) run ./examples/failover
+
+clean:
+	$(GO) clean -testcache

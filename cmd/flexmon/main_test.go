@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickEmulation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"t_seconds,stage,ups1_watts",
+		"UPS power timeline",
+		"software-redundant racks shut down",
+		"cascading outage:                    false",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunScenarios(t *testing.T) {
+	for _, sc := range []string{"Extreme-1", "Extreme-2", "Realistic-2"} {
+		var out bytes.Buffer
+		if err := run([]string{"-quick", "-scenario", sc}, &out); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if !strings.Contains(out.String(), sc) {
+			t.Errorf("%s missing from output", sc)
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,145 @@
+// Command flexplace runs the Flex-Offline placement evaluation (paper
+// §V-A, Figures 9 and 10): it generates shuffled short-term-demand traces
+// for the paper's 9.6MW 4N/3 room, places them with each policy, and
+// prints box statistics of stranded power and throttling imbalance.
+//
+// Usage:
+//
+//	flexplace [-traces N] [-seed S] [-nodes N] [-maxdep R] [-srshare F]
+//	          [-reserve F] [-oversub F] [-in trace.json] [-out trace.json]
+//	          [-csvout rows.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flex"
+	"flex/internal/report"
+	"flex/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flexplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flexplace", flag.ContinueOnError)
+	traces := fs.Int("traces", 10, "number of shuffled trace variations")
+	seed := fs.Int64("seed", 1, "base random seed")
+	nodes := fs.Int("nodes", 800, "branch-and-bound node budget per ILP batch")
+	maxDep := fs.Int("maxdep", 0, "split deployments larger than this many racks (0 = off)")
+	srShare := fs.Float64("srshare", 0.13, "software-redundant power share of demand")
+	reserve := fs.Float64("reserve", 1.0, "fraction of reserved power allocated (§VI: 0.42 for throttle-only rooms)")
+	oversub := fs.Float64("oversub", 1.0, "power oversubscription factor (>= 1)")
+	traceIn := fs.String("in", "", "read the demand trace from this JSON file instead of generating one")
+	traceOut := fs.String("out", "", "write the generated demand trace to this JSON file")
+	csvOut := fs.String("csvout", "", "also write the Figure 9/10 rows as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	room := flex.PaperRoom()
+	if *reserve != 1.0 {
+		r, err := flex.PartialReserveRoom(room.Topo, 60, *reserve)
+		if err != nil {
+			return err
+		}
+		room = r
+	}
+	room.Oversubscription = *oversub
+	cfg := flex.DefaultTraceConfig(room.Topo.ProvisionedPower())
+	cfg.MaxDeploymentRacks = *maxDep
+	if *srShare != 0.13 {
+		rest := 1 - *srShare
+		cfg.CategoryShares = [3]float64{*srShare, rest * 0.56 / 0.87, rest * 0.31 / 0.87}
+	}
+
+	var base []flex.Deployment
+	var err error
+	if *traceIn != "" {
+		f, ferr := os.Open(*traceIn)
+		if ferr != nil {
+			return ferr
+		}
+		base, err = flex.ReadTrace(f)
+		_ = f.Close()
+	} else {
+		base, err = flex.GenerateTrace(cfg, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			return ferr
+		}
+		if err := flex.WriteTrace(f, base); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	variations := make([][]flex.Deployment, *traces)
+	for i := range variations {
+		variations[i] = flex.ShuffleTrace(base, *seed+int64(i)*101)
+	}
+
+	short, long, oracle := flex.FlexOfflineShort(), flex.FlexOfflineLong(), flex.FlexOfflineOracle()
+	short.MaxNodes, long.MaxNodes, oracle.MaxNodes = *nodes/2, *nodes, *nodes*2
+	policies := []flex.Policy{
+		flex.RandomPolicy{Seed: *seed},
+		flex.BalancedRoundRobinPolicy{},
+		short, long, oracle,
+	}
+
+	fmt.Fprintf(out, "Room: %v provisioned, %v design, %d PDU-pairs, %d traces\n\n",
+		room.Topo.ProvisionedPower(), room.Topo.Design, len(room.Topo.Pairs), *traces)
+	fmt.Fprintf(out, "%-22s  %-52s  %s\n", "policy", "stranded power (% of provisioned)", "throttling imbalance (%)")
+	var csvRows []report.PolicyRow
+	for _, pol := range policies {
+		var stranded, imbalance []float64
+		for _, tr := range variations {
+			pl, err := pol.Place(room, tr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", pol.Name(), err)
+			}
+			if err := pl.Validate(); err != nil {
+				return fmt.Errorf("%s produced unsafe placement: %w", pol.Name(), err)
+			}
+			stranded = append(stranded, pl.StrandedFraction()*100)
+			imbalance = append(imbalance, pl.ThrottlingImbalance()*100)
+		}
+		fmt.Fprintf(out, "%-22s  %-52s  %s\n", pol.Name(),
+			stats.BoxOf(stranded).String(), stats.BoxOf(imbalance).String())
+		csvRows = append(csvRows, report.PolicyRow{
+			Policy:    pol.Name(),
+			Stranded:  stats.BoxOf(stranded),
+			Imbalance: stats.BoxOf(imbalance),
+		})
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WritePolicyBoxes(f, csvRows); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *csvOut)
+	}
+	return nil
+}

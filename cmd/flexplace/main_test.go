@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallPlacement(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	csvPath := filepath.Join(dir, "rows.csv")
+	var out bytes.Buffer
+	err := run([]string{
+		"-traces", "2", "-nodes", "100",
+		"-out", tracePath, "-csvout", csvPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Random", "BalancedRoundRobin", "Flex-Offline-Oracle"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The trace and CSV files exist and parse.
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "policy,stranded_min") {
+		t.Errorf("csv header: %q", string(data[:40]))
+	}
+
+	// Re-run reading the trace back in.
+	out.Reset()
+	if err := run([]string{"-traces", "1", "-nodes", "50", "-in", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 traces") {
+		t.Errorf("re-run output:\n%s", out.String())
+	}
+}
+
+func TestRunPartialReserve(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-traces", "1", "-nodes", "50", "-reserve", "0.42", "-srshare", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run([]string{"-reserve", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected reserve validation error")
+	}
+	if err := run([]string{"-in", "/definitely/missing.json"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected missing file error")
+	}
+	if err := run([]string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected flag error")
+	}
+}

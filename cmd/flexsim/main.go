@@ -1,0 +1,159 @@
+// Command flexsim runs the Flex analyses and snapshot simulations:
+//
+//	flexsim -experiment fig12        Figure 12 runtime-decision sweep
+//	flexsim -experiment feasibility  §III joint-probability analysis
+//	flexsim -experiment montecarlo   §III Monte Carlo cross-check
+//	flexsim -experiment cost         §I construction-cost savings
+//	flexsim -experiment designs      §II-A redundancy design comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flex"
+	"flex/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flexsim", flag.ContinueOnError)
+	experiment := fs.String("experiment", "fig12", "fig12|feasibility|montecarlo|cost|designs")
+	seed := fs.Int64("seed", 1, "random seed")
+	samples := fs.Int("samples", 3, "power snapshots per (failure, utilization)")
+	csvDir := fs.String("csvdir", "", "also write results as CSV files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *experiment {
+	case "fig12":
+		return runFigure12(out, *seed, *samples, *csvDir)
+	case "feasibility":
+		return runFeasibility(out)
+	case "montecarlo":
+		return runMonteCarlo(out, *seed)
+	case "cost":
+		return runCost(out)
+	case "designs":
+		return runDesigns(out)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+}
+
+func runFigure12(out io.Writer, seed int64, samples int, csvDir string) error {
+	room := flex.PaperRoom()
+	trace, err := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), seed)
+	if err != nil {
+		return err
+	}
+	pol := flex.FlexOfflineShort()
+	pol.MaxNodes = 300
+	pl, err := pol.Place(room, trace)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Figure 12: Flex-Online decisions vs utilization (mean±std over all UPS failures)\n")
+	for _, sc := range flex.Figure11Scenarios() {
+		pts, err := flex.RunFigure12(flex.Figure12Config{
+			Placement:         pl,
+			Scenario:          sc,
+			Utilizations:      []float64{0.74, 0.76, 0.78, 0.80, 0.82, 0.84},
+			SamplesPerFailure: samples,
+			Seed:              seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n%s:\n  %-6s %-14s %-14s %-14s\n", sc.Name, "util", "impacted%", "shutdown%", "throttled%")
+		for _, p := range pts {
+			fmt.Fprintf(out, "  %-6.2f %-14s %-14s %-14s\n",
+				p.Utilization, p.Impacted, p.ShutDown, p.Throttled)
+		}
+		if csvDir != "" {
+			name := filepath.Join(csvDir, "figure12-"+sc.Name+".csv")
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			if err := report.WriteFigure12(f, sc.Name, pts); err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  wrote %s\n", name)
+		}
+	}
+	return nil
+}
+
+func runFeasibility(out io.Writer) error {
+	a, err := flex.AnalyzeFeasibility(flex.DefaultFeasibilityParams())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Section III feasibility analysis (paper targets in parentheses):")
+	fmt.Fprintf(out, "  corrective-action threshold:      %.1f%% utilization (75%%)\n", a.ActionThreshold*100)
+	fmt.Fprintf(out, "  SR-shutdown threshold:            %.1f%% utilization\n", a.ShutdownThreshold*100)
+	fmt.Fprintf(out, "  P(corrective action needed):      %.5f%%\n", a.ProbActionNeeded*100)
+	fmt.Fprintf(out, "  no-action availability:           %.5f%% → %.1f nines (≥4 nines)\n",
+		a.NoActionAvailability*100, a.NoActionNines)
+	fmt.Fprintf(out, "  P(SR rack shutdown):              %.5f%% (≈0.005%%)\n", a.ProbSRShutdown*100)
+	fmt.Fprintf(out, "  SR server availability:           %.1f nines (≥4 nines)\n", a.SRNines)
+	fmt.Fprintf(out, "  non-redundant availability:       %.1f nines (5 nines by design)\n", a.NonRedundantNines)
+	return nil
+}
+
+func runMonteCarlo(out io.Writer, seed int64) error {
+	p := flex.DefaultMonteCarloParams()
+	p.Seed = seed
+	p.Years = 300
+	res, err := flex.SimulateYears(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Section III Monte Carlo (%d simulated years):\n", p.Years)
+	fmt.Fprintf(out, "  maintenance:            %.1f h/yr\n", float64(res.MaintenanceHours)/float64(p.Years))
+	fmt.Fprintf(out, "  corrective actions:     %.2f h/yr (throttle-only %.2f, SR shutdown %.2f)\n",
+		float64(res.ActionHours)/float64(p.Years),
+		float64(res.ThrottleOnlyHours)/float64(p.Years),
+		float64(res.SRShutdownHours)/float64(p.Years))
+	fmt.Fprintf(out, "  no-action availability: %.5f%% (%.1f nines)\n", res.NoActionAvailability*100, res.NoActionNines)
+	fmt.Fprintf(out, "  SR availability:        %.5f%% (%.1f nines)\n", res.SRAvailability*100, res.SRNines)
+	return nil
+}
+
+func runCost(out io.Writer) error {
+	fmt.Fprintln(out, "Section I construction-cost savings for a 128MW site (paper: $211M @$5/W, $422M @$10/W):")
+	for _, dpw := range []float64{5, 10} {
+		s, err := flex.ComputeSavings(flex.Redundancy{X: 4, Y: 3}, 128*flex.MW, dpw)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  $%2.0f/W: +%.1f%% servers (+%v) → $%.0fM\n",
+			dpw, s.ExtraServerFraction*100, s.ExtraPower, s.Dollars/1e6)
+	}
+	return nil
+}
+
+func runDesigns(out io.Writer) error {
+	fmt.Fprintln(out, "Redundancy designs (§II-A): reserved power and Flex gains")
+	fmt.Fprintf(out, "  %-14s %-10s %-10s %s\n", "design", "reserved", "Flex gain", "worst failover load")
+	for _, d := range flex.CompareDesigns() {
+		fmt.Fprintf(out, "  %-14s %-10.1f%% %-10.1f%% %.0f%%\n",
+			d.Name, d.ReservedFraction*100, d.ExtraServerFraction*100, d.WorstFailoverLoad*100)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Capacity planning: compare placement policies on the same short-term
+// demand — the paper's Figure 9/10 experiment in miniature. A capacity
+// planner would run this before committing a quarter's deployments to a
+// room, to see how much power each approach strands.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flex"
+)
+
+func main() {
+	room := flex.PaperRoom()
+	base, err := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	short := flex.FlexOfflineShort()
+	short.MaxNodes = 300
+	oracle := flex.FlexOfflineOracle()
+	oracle.MaxNodes = 1200
+	policies := []flex.Policy{
+		flex.RandomPolicy{Seed: 7},
+		flex.BalancedRoundRobinPolicy{},
+		short,
+		oracle,
+	}
+
+	fmt.Printf("demand: %d deployments, %v total (%.0f%% of provisioned)\n\n",
+		len(base), totalPower(base),
+		100*float64(totalPower(base))/float64(room.Topo.ProvisionedPower()))
+	fmt.Printf("%-22s %-10s %-10s %-10s %s\n",
+		"policy", "placed", "stranded", "imbalance", "rejected deployments")
+	for _, pol := range policies {
+		pl, err := pol.Place(room, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pl.Validate(); err != nil {
+			log.Fatalf("%s produced an unsafe placement: %v", pol.Name(), err)
+		}
+		fmt.Printf("%-22s %-10v %-9.2f%% %-9.2f%% %d\n",
+			pol.Name(), pl.PairLoad().Total(),
+			pl.StrandedFraction()*100, pl.ThrottlingImbalance()*100,
+			len(pl.Unplaced()))
+	}
+
+	fmt.Println("\nEvery placement above survives any single-UPS failure even at")
+	fmt.Println("100% utilization, after shutting down software-redundant racks and")
+	fmt.Println("throttling cap-able racks to their flex power (Eq. 4 guarantee).")
+}
+
+func totalPower(ds []flex.Deployment) flex.Watts {
+	var sum flex.Watts
+	for _, d := range ds {
+		sum += d.TotalPower()
+	}
+	return sum
+}

@@ -1,0 +1,45 @@
+// Cost savings: the economics of zero-reserved-power datacenters (paper
+// §I and §II-A) — how much reserved power each redundancy design wastes,
+// how many extra servers Flex unlocks, and the avoided construction cost,
+// plus the §III feasibility argument that makes it safe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flex"
+)
+
+func main() {
+	fmt.Println("Reserved power by redundancy design:")
+	fmt.Printf("  %-14s %-10s %-11s %s\n", "design", "reserved", "Flex gain", "worst failover load")
+	for _, d := range flex.CompareDesigns() {
+		fmt.Printf("  %-14s %8.1f%%  %8.1f%%   %.0f%% of UPS rating\n",
+			d.Name, d.ReservedFraction*100, d.ExtraServerFraction*100, d.WorstFailoverLoad*100)
+	}
+
+	fmt.Println("\nConstruction savings for a 128MW site (4N/3):")
+	for _, dpw := range []float64{5, 7.5, 10} {
+		s, err := flex.ComputeSavings(flex.Redundancy{X: 4, Y: 3}, 128*flex.MW, dpw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  at $%.1f/W: +%v of IT capacity → $%.0fM avoided\n",
+			dpw, s.ExtraPower, s.Dollars/1e6)
+	}
+
+	a, err := flex.AnalyzeFeasibility(flex.DefaultFeasibilityParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWhy it is safe (§III):")
+	fmt.Printf("  corrective actions only above %.0f%% utilization during a supply outage\n",
+		a.ActionThreshold*100)
+	fmt.Printf("  P(action needed) = %.4f%% → %.1f nines of action-free operation\n",
+		a.ProbActionNeeded*100, a.NoActionNines)
+	fmt.Printf("  P(software-redundant shutdown) = %.4f%% → %.1f nines for SR servers\n",
+		a.ProbSRShutdown*100, a.SRNines)
+	fmt.Printf("  non-redundant workloads: at most throttled, %.0f nines preserved\n",
+		a.NonRedundantNines)
+}

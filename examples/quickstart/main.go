@@ -1,0 +1,77 @@
+// Quickstart: build a zero-reserved-power room, place a demand trace with
+// Flex-Offline, and watch Flex-Online's Algorithm 1 pick corrective
+// actions for a UPS failure at high utilization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flex"
+)
+
+func main() {
+	// The paper's 9.6MW 4N/3 room: 4 × 2.4MW UPSes, 18 PDU-pairs.
+	room := flex.PaperRoom()
+	fmt.Printf("room: %v provisioned (%v design), conventional limit %v\n",
+		room.Topo.ProvisionedPower(), room.Topo.Design, room.Topo.ConventionalAllocatablePower())
+
+	// Generate short-term demand worth 115% of provisioned power with the
+	// paper's workload mix, and place it with Flex-Offline-Short.
+	trace, err := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy := flex.FlexOfflineShort()
+	policy.MaxNodes = 300
+	pl, err := policy.Place(room, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		log.Fatal(err) // never: Flex-Offline placements are safe by construction
+	}
+	fmt.Printf("placed %d/%d deployments, stranded power %.1f%%, throttling imbalance %.1f%%\n",
+		len(pl.Placed()), len(trace), pl.StrandedFraction()*100, pl.ThrottlingImbalance()*100)
+
+	// Simulate a failover at 85% utilization: UPS-1 goes out, its load
+	// lands on the three survivors (≈113% of their rating each).
+	racks := flex.ExpandRacks(pl)
+	ups := make([]flex.Watts, len(room.Topo.UPSes))
+	for u := range ups {
+		ups[u] = flex.Watts(0.85 * 4.0 / 3.0 * float64(room.Topo.UPSes[u].Capacity))
+	}
+	ups[0] = 0
+
+	actions, insufficient, err := flex.PlanActions(flex.PlanInput{
+		Topo:     room.Topo,
+		Racks:    flex.ManagedRacks(racks),
+		UPSPower: ups,
+		Inactive: map[flex.UPSID]bool{0: true},
+		Scenario: flex.ScenarioRealistic1(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shut, throttled := 0, 0
+	var recovered flex.Watts
+	for _, a := range actions {
+		if a.Kind == flex.ActionShutdown {
+			shut++
+		} else {
+			throttled++
+		}
+		recovered += a.Recovered
+	}
+	fmt.Printf("failover plan: %d racks shut down, %d throttled, %v recovered (insufficient=%v)\n",
+		shut, throttled, recovered, insufficient)
+	fmt.Printf("first actions: ")
+	for i, a := range actions {
+		if i == 3 {
+			fmt.Printf("…")
+			break
+		}
+		fmt.Printf("%s→%s (impact %.2f)  ", a.Rack, a.Kind, a.Impact)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,108 @@
+// Telemetry pipeline: the paper's Figure 7 with real sockets — meters and
+// pollers publish over TCP to two independent broker servers; a
+// subscriber (where the Flex controllers would sit) merges and
+// deduplicates both streams. Faults are injected live: a meter misreads,
+// then one whole broker dies, and the power view keeps updating.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"flex"
+	"flex/internal/clock"
+	"flex/internal/telemetry"
+)
+
+func main() {
+	// Ground truth: one UPS ramping from 1.0 to 1.3MW.
+	var milliwatts atomic.Int64
+	milliwatts.Store(1.0e9)
+	source := func() flex.Watts { return flex.Watts(milliwatts.Load()) / 1000 }
+	mech := func() flex.Watts { return 60 * flex.KW }
+
+	// Two broker servers on separate ports (separate fault domains).
+	var servers []*telemetry.BrokerServer
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := telemetry.NewBrokerServer(telemetry.NewBroker(fmt.Sprintf("pubsub-%c", 'A'+i)))
+		go func() { _ = srv.Serve(l) }()
+		servers = append(servers, srv)
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	// Two redundant pollers, each publishing the 3-meter consensus to
+	// BOTH brokers over TCP.
+	meter := telemetry.NewUPSLogicalMeter("UPS-1", source, mech, 1)
+	var pollers []*telemetry.Poller
+	for i := 0; i < 2; i++ {
+		var pubs []telemetry.SamplePublisher
+		for _, addr := range addrs {
+			pubs = append(pubs, telemetry.NewRemotePublisher(addr))
+		}
+		pollers = append(pollers, telemetry.NewPoller(
+			fmt.Sprintf("poller-%c", 'A'+i), clock.Real{}, 100*time.Millisecond,
+			pubs, []telemetry.Target{{Meter: meter, Topic: telemetry.TopicUPS}}))
+	}
+
+	// The controller-side view: subscribe to both brokers, deduplicate.
+	view := telemetry.NewLatestPower()
+	dedupe := telemetry.NewDeduper()
+	for _, addr := range addrs {
+		sub, err := telemetry.RemoteSubscribe(addr, telemetry.TopicUPS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func(sub *telemetry.RemoteSubscription) {
+			for s := range sub.C {
+				if dedupe.Fresh(s) {
+					view.Update(s)
+				}
+			}
+		}(sub)
+	}
+
+	poll := func() {
+		for _, p := range pollers {
+			p.PollOnce()
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	show := func(label string) {
+		v, at, ok := view.Get("UPS-1")
+		fmt.Printf("%-34s view=%v (ok=%v, measured %s ago)\n",
+			label, v, ok, time.Since(at).Truncate(time.Millisecond))
+	}
+
+	poll()
+	show("healthy pipeline:")
+
+	// Fault 1: the direct UPS meter starts misreading by +400kW. The
+	// median consensus masks it.
+	meter.Meters()[0].(*telemetry.SimMeter).SetOffset(400 * flex.KW)
+	milliwatts.Store(1.1e9)
+	poll()
+	show("one meter misreading +400kW:")
+
+	// Fault 2: broker A dies entirely. The duplicate path still delivers.
+	servers[0].Close()
+	milliwatts.Store(1.2e9)
+	poll()
+	show("broker A down:")
+
+	// Fault 3: poller A down too — single surviving path end to end.
+	pollers[0].SetDown(true)
+	milliwatts.Store(1.3e9)
+	poll()
+	show("broker A + poller A down:")
+
+	fmt.Println("\nThe view tracked the (ramping) truth through every fault: no single")
+	fmt.Println("point of failure between the meters and the Flex controllers.")
+}

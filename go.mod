@@ -1,0 +1,3 @@
+module flex
+
+go 1.22

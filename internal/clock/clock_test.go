@@ -1,0 +1,132 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	c := Real{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now out of range: %v", got)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestVirtualNowAndAdvance(t *testing.T) {
+	start := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(90 * time.Second)
+	if want := start.Add(90 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch := v.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case ts := <-ch:
+		if !ts.Equal(time.Unix(10, 0)) {
+			t.Fatalf("fired at %v, want t=10s", ts)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestVirtualAfterNonPositive(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestVirtualSleepWakesSleeper(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		v.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep never returned")
+	}
+	wg.Wait()
+}
+
+func TestVirtualSleepZeroReturnsImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	doneCh := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestVirtualMultipleWaitersWakeInOrder(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	a := v.After(1 * time.Second)
+	b := v.After(2 * time.Second)
+	c := v.After(3 * time.Second)
+	v.Advance(10 * time.Second)
+	for i, ch := range []<-chan time.Time{a, b, c} {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("waiter %d not woken", i)
+		}
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", v.Pending())
+	}
+}

@@ -1,0 +1,306 @@
+package controller
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/impact"
+	"flex/internal/power"
+	"flex/internal/rackmgr"
+	"flex/internal/telemetry"
+)
+
+// Config assembles one Flex-Online controller instance. Flex runs several
+// instances in a multi-primary configuration on separate fault domains;
+// because actions are idempotent, the instances need no coordination
+// (paper §IV-D).
+type Config struct {
+	Name  string
+	Clock clock.Clock
+	Topo  *power.Topology
+	Racks []ManagedRack
+	// UPSView/RackView are the telemetry snapshots the controller reads
+	// (fed by telemetry.Pipeline.SubscribeAll).
+	UPSView  *telemetry.LatestPower
+	RackView *telemetry.LatestPower
+	// RackEstimator, when non-nil, supplies the rack power estimates for
+	// planning instead of the raw RackView snapshot (paper §IV-D: "an
+	// estimate based on time series models can be used"). The controller
+	// uses a conservative lower bound (mean − deviation) so recovered
+	// power is never overestimated.
+	RackEstimator *telemetry.EWMAEstimator
+	// Actuator enforces actions.
+	Actuator *rackmgr.Manager
+	// Scenario supplies impact functions.
+	Scenario impact.Scenario
+	// Buffer is the safety margin below UPS capacity (default 1% of the
+	// smallest UPS capacity).
+	Buffer power.Watts
+	// Interval is the evaluation period (default 500ms — the controller
+	// must fit detection plus action well inside the 10s budget).
+	Interval time.Duration
+	// InactiveThreshold is the capacity fraction below which a UPS is
+	// considered out of service (default 0.02).
+	InactiveThreshold float64
+}
+
+// StepOutcome describes one evaluation round.
+type StepOutcome struct {
+	// Overdraw is true when some UPS exceeded limit−buffer.
+	Overdraw bool
+	// Planned actions this round (nil when no overdraw).
+	Planned []PlannedAction
+	// Enforced counts successfully enforced actions.
+	Enforced int
+	// EnforceErrors counts actuation failures.
+	EnforceErrors int
+	// Insufficient is true when shaveable power ran out before safety.
+	Insufficient bool
+	// Restored counts racks restored during recovery.
+	Restored int
+}
+
+// Controller is one Flex-Online primary.
+type Controller struct {
+	cfg Config
+
+	mu            sync.Mutex
+	acted         map[string]PlannedAction // rack → action we enforced
+	steps         int
+	lastEnforceAt time.Time
+}
+
+// New creates a controller.
+func New(cfg Config) *Controller {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.InactiveThreshold == 0 {
+		cfg.InactiveThreshold = 0.02
+	}
+	if cfg.Buffer == 0 {
+		min := cfg.Topo.UPSes[0].Capacity
+		for _, u := range cfg.Topo.UPSes {
+			if u.Capacity < min {
+				min = u.Capacity
+			}
+		}
+		cfg.Buffer = power.Watts(0.01 * float64(min))
+	}
+	return &Controller{cfg: cfg, acted: make(map[string]PlannedAction)}
+}
+
+// snapshotUPS builds the UPS power vector from the view; UPSes without a
+// reading are assumed at full capacity (the safe direction: missing data
+// must trigger shaving, not mask an overload — §IV-C notes unreliable
+// telemetry leads to conservative action). It also returns the newest
+// measurement time, which gates re-enforcement.
+func (c *Controller) snapshotUPS() ([]power.Watts, time.Time) {
+	out := make([]power.Watts, len(c.cfg.Topo.UPSes))
+	var newest time.Time
+	for u := range c.cfg.Topo.UPSes {
+		if v, at, ok := c.cfg.UPSView.Get(c.cfg.Topo.UPSes[u].Name); ok {
+			out[u] = v
+			if at.After(newest) {
+				newest = at
+			}
+		} else {
+			out[u] = c.cfg.Topo.UPSes[u].Capacity
+		}
+	}
+	return out, newest
+}
+
+// Step runs one evaluation round: read snapshots, detect overdraw, plan
+// and enforce corrective actions; or, when the failed supply has returned
+// and headroom allows, restore previously acted racks.
+func (c *Controller) Step() StepOutcome {
+	c.mu.Lock()
+	c.steps++
+	acted := make(map[string]bool, len(c.acted))
+	for id := range c.acted {
+		acted[id] = true
+	}
+	c.mu.Unlock()
+
+	ups, measuredAt := c.snapshotUPS()
+	inactive := InferInactiveUPSes(c.cfg.Topo, ups, c.cfg.InactiveThreshold)
+	var rackPower map[string]power.Watts
+	if c.cfg.RackEstimator != nil {
+		rackPower = c.cfg.RackEstimator.BoundSnapshot(-1)
+	} else {
+		rackPower = c.cfg.RackView.Snapshot()
+	}
+
+	out := StepOutcome{}
+	over := false
+	for u := range c.cfg.Topo.UPSes {
+		if inactive[power.UPSID(u)] {
+			continue
+		}
+		if ups[u] > c.cfg.Topo.UPSes[u].Capacity-c.cfg.Buffer {
+			over = true
+			break
+		}
+	}
+
+	if over {
+		out.Overdraw = true
+		// Do not pile further actions onto a snapshot that predates our
+		// last enforcement: the measurements do not yet reflect the power
+		// already shed, and re-planning on them overcorrects far beyond
+		// the paper's benign idempotent-duplicate case. Wait for fresh
+		// telemetry (≤1.5s, §IV-D) instead — still well inside the
+		// 10-second budget.
+		c.mu.Lock()
+		stale := len(c.acted) > 0 && !measuredAt.After(c.lastEnforceAt)
+		c.mu.Unlock()
+		if stale {
+			return out
+		}
+		actions, insufficient, err := Plan(PlanInput{
+			Topo:      c.cfg.Topo,
+			Racks:     c.cfg.Racks,
+			UPSPower:  ups,
+			RackPower: rackPower,
+			Inactive:  inactive,
+			Scenario:  c.cfg.Scenario,
+			Buffer:    c.cfg.Buffer,
+			Acted:     acted,
+		})
+		if err != nil {
+			return out
+		}
+		out.Planned = actions
+		out.Insufficient = insufficient
+		for _, a := range actions {
+			var err error
+			switch a.Kind {
+			case Shutdown:
+				err = c.cfg.Actuator.Shutdown(a.Rack)
+			case Throttle:
+				err = c.cfg.Actuator.Throttle(a.Rack, a.CapTarget)
+			}
+			if err != nil {
+				out.EnforceErrors++
+				continue
+			}
+			out.Enforced++
+			c.mu.Lock()
+			c.acted[a.Rack] = a
+			c.lastEnforceAt = c.cfg.Clock.Now()
+			c.mu.Unlock()
+		}
+		return out
+	}
+
+	// Recovery: when no UPS is inactive, restore as many acted racks as
+	// the measured headroom safely allows — all of them after the failed
+	// supply returns and load normalizes (paper Figure 13, stages F–G),
+	// or a partial subset when the power draw merely "falls
+	// significantly" during a long maintenance window (§IV-D: "some power
+	// caps may be lifted or servers restored to reduce the impact").
+	c.mu.Lock()
+	n := len(c.acted)
+	c.mu.Unlock()
+	if n == 0 || len(inactive) > 0 {
+		return out
+	}
+	c.mu.Lock()
+	restoreSet := make([]PlannedAction, 0, len(c.acted))
+	for _, a := range c.acted {
+		restoreSet = append(restoreSet, a)
+	}
+	c.mu.Unlock()
+	// Restore cheapest-impact actions first: throttled racks before shut
+	// down ones (lifting a cap is instantaneous and risk-free; a restart
+	// adds inrush and boot time), then by recovered power ascending so
+	// marginal headroom frees the most racks.
+	sort.Slice(restoreSet, func(i, j int) bool {
+		if (restoreSet[i].Kind == Throttle) != (restoreSet[j].Kind == Throttle) {
+			return restoreSet[i].Kind == Throttle
+		}
+		if restoreSet[i].Recovered != restoreSet[j].Recovered {
+			return restoreSet[i].Recovered < restoreSet[j].Recovered
+		}
+		return restoreSet[i].Rack < restoreSet[j].Rack
+	})
+	proj := append([]power.Watts(nil), ups...)
+	for _, a := range restoreSet {
+		rk := c.rackByID(a.Rack)
+		if rk == nil {
+			continue
+		}
+		// Would returning this rack's power keep every UPS safe?
+		cand := append([]power.Watts(nil), proj...)
+		applyRecovery(c.cfg.Topo, cand, nil, rk.Pair, -a.Recovered)
+		safe := true
+		for u := range c.cfg.Topo.UPSes {
+			if cand[u] > c.cfg.Topo.UPSes[u].Capacity-c.cfg.Buffer {
+				safe = false
+				break
+			}
+		}
+		if !safe {
+			continue
+		}
+		if err := c.cfg.Actuator.Restore(a.Rack); err != nil {
+			out.EnforceErrors++
+			continue
+		}
+		proj = cand
+		out.Restored++
+		c.mu.Lock()
+		delete(c.acted, a.Rack)
+		c.mu.Unlock()
+	}
+	return out
+}
+
+func (c *Controller) rackByID(id string) *ManagedRack {
+	for i := range c.cfg.Racks {
+		if c.cfg.Racks[i].ID == id {
+			return &c.cfg.Racks[i]
+		}
+	}
+	return nil
+}
+
+// Run evaluates repeatedly until ctx is cancelled.
+func (c *Controller) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		c.Step()
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.cfg.Clock.After(c.cfg.Interval):
+		}
+	}
+}
+
+// ActedRacks returns the racks this controller has acted on and not yet
+// restored.
+func (c *Controller) ActedRacks() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.acted))
+	for id := range c.acted {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Steps reports how many evaluation rounds have run.
+func (c *Controller) Steps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.steps
+}

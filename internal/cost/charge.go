@@ -1,0 +1,100 @@
+package cost
+
+import (
+	"fmt"
+
+	"flex/internal/feasibility"
+	"flex/internal/workload"
+)
+
+// ChargeModel prices the paper's §VI financial incentives: "new charge
+// models that incentivize workloads with relaxed performance and
+// availability requirements". Workloads that let Flex act on them receive
+// a discount funded by the construction savings their flexibility unlocks.
+//
+// The model is deliberately simple and explicit: a discount per nine of
+// infrastructure availability given up (software-redundant workloads run
+// at ≥4 instead of 5 nines) plus a discount per expected annual hour of
+// throttling exposure (cap-able workloads keep full availability but
+// accept bounded performance impact).
+type ChargeModel struct {
+	// DiscountPerNine is the price discount for each nine of availability
+	// below the 5-nines design baseline (e.g. 0.05 = 5% per nine).
+	DiscountPerNine float64
+	// DiscountPerThrottleHour is the discount per expected annual hour of
+	// throttling (e.g. 0.01 = 1% per hour/year).
+	DiscountPerThrottleHour float64
+	// MaxDiscount caps the total discount.
+	MaxDiscount float64
+}
+
+// DefaultChargeModel returns a conservative parameterization: 5% per lost
+// nine, 1% per expected annual throttle-hour, capped at 30%.
+func DefaultChargeModel() ChargeModel {
+	return ChargeModel{
+		DiscountPerNine:         0.05,
+		DiscountPerThrottleHour: 0.01,
+		MaxDiscount:             0.30,
+	}
+}
+
+const hoursPerYearCharge = 8760.0
+
+// Discount computes the price discount fraction for a workload category
+// under the given feasibility analysis.
+func (m ChargeModel) Discount(cat workload.Category, a feasibility.Analysis) (float64, error) {
+	if m.DiscountPerNine < 0 || m.DiscountPerThrottleHour < 0 || m.MaxDiscount < 0 {
+		return 0, fmt.Errorf("cost: negative charge model parameters")
+	}
+	d := 0.0
+	switch cat {
+	case workload.NonRedundantNonCapable:
+		// Never touched: full price, full availability.
+		d = 0
+	case workload.NonRedundantCapable:
+		// Keeps design availability; pays only in rare throttling.
+		expectedThrottleHours := a.ProbActionNeeded * hoursPerYearCharge
+		d = m.DiscountPerThrottleHour * expectedThrottleHours
+	case workload.SoftwareRedundant:
+		// Gives up infrastructure nines (bounded below at the analysis
+		// result) and also absorbs shutdowns.
+		ninesLost := a.NonRedundantNines - a.SRNines
+		if ninesLost < 0 {
+			ninesLost = 0
+		}
+		expectedShutdownHours := a.ProbSRShutdown * hoursPerYearCharge
+		d = m.DiscountPerNine*ninesLost + m.DiscountPerThrottleHour*expectedShutdownHours
+	default:
+		return 0, fmt.Errorf("cost: unknown category %v", cat)
+	}
+	if d > m.MaxDiscount {
+		d = m.MaxDiscount
+	}
+	return d, nil
+}
+
+// FundedBy reports what fraction of the construction savings the discounts
+// consume for a room with the given workload mix (power-weighted): the
+// provider keeps the remainder. Discounts are sustainable when the result
+// is below 1.
+func (m ChargeModel) FundedBy(shares map[workload.Category]float64, a feasibility.Analysis, s Savings) (float64, error) {
+	if s.Dollars <= 0 {
+		return 0, fmt.Errorf("cost: savings must be positive")
+	}
+	var weighted float64
+	for cat, share := range shares {
+		d, err := m.Discount(cat, a)
+		if err != nil {
+			return 0, err
+		}
+		weighted += share * d
+	}
+	// Treat the power-weighted discount as revenue forgone against the
+	// capacity the site serves; compare to the savings fraction the extra
+	// servers represent.
+	savingsFraction := s.ExtraServerFraction
+	if savingsFraction <= 0 {
+		return 0, fmt.Errorf("cost: no extra capacity")
+	}
+	return weighted / savingsFraction, nil
+}

@@ -1,0 +1,90 @@
+package cost
+
+import (
+	"testing"
+
+	"flex/internal/feasibility"
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+func analysis(t *testing.T) feasibility.Analysis {
+	t.Helper()
+	a, err := feasibility.Analyze(feasibility.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestChargeModelOrdering(t *testing.T) {
+	m := DefaultChargeModel()
+	a := analysis(t)
+	dNC, err := m.Discount(workload.NonRedundantNonCapable, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCap, err := m.Discount(workload.NonRedundantCapable, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSR, err := m.Discount(workload.SoftwareRedundant, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dNC != 0 {
+		t.Errorf("non-cap-able discount = %v, want 0", dNC)
+	}
+	// The more flexibility a workload offers, the bigger the discount
+	// (§VI's incentive direction).
+	if !(dSR > dCap && dCap > 0) {
+		t.Errorf("discount ordering broken: SR=%v cap=%v", dSR, dCap)
+	}
+	if dSR > m.MaxDiscount {
+		t.Errorf("discount above cap: %v", dSR)
+	}
+}
+
+func TestChargeModelCapAndValidation(t *testing.T) {
+	a := analysis(t)
+	m := ChargeModel{DiscountPerNine: 10, DiscountPerThrottleHour: 10, MaxDiscount: 0.3}
+	d, err := m.Discount(workload.SoftwareRedundant, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.3 {
+		t.Fatalf("discount = %v, want capped 0.3", d)
+	}
+	bad := ChargeModel{DiscountPerNine: -1}
+	if _, err := bad.Discount(workload.SoftwareRedundant, a); err == nil {
+		t.Error("expected error for negative parameters")
+	}
+	if _, err := DefaultChargeModel().Discount(workload.Category(9), a); err == nil {
+		t.Error("expected error for unknown category")
+	}
+}
+
+func TestChargeModelFundedBy(t *testing.T) {
+	a := analysis(t)
+	m := DefaultChargeModel()
+	s, err := Compute(power.Redundancy{X: 4, Y: 3}, 128*power.MW, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[workload.Category]float64{
+		workload.SoftwareRedundant:      0.13,
+		workload.NonRedundantCapable:    0.56,
+		workload.NonRedundantNonCapable: 0.31,
+	}
+	frac, err := m.FundedBy(shares, a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discounts must be comfortably fundable by the 33% capacity gain.
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("funded fraction = %v, want in (0,1)", frac)
+	}
+	if _, err := m.FundedBy(shares, a, Savings{}); err == nil {
+		t.Error("expected error for zero savings")
+	}
+}

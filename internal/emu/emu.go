@@ -1,0 +1,528 @@
+// Package emu reproduces the paper's end-to-end Flex-Online emulation
+// (§V-C, Figure 13): a 4.8MW zero-reserved-power room of 360 emulated
+// racks running synthetic workloads — a TeraSort-like batch job for the
+// software-redundant workload and a latency-sensitive TPC-E-like OLTP
+// workload for the non-redundant categories — placed by Flex-Offline-Short
+// and driven through setup → normal operation → UPS failure → corrective
+// action → recovery, with the real controller and telemetry code in the
+// loop on a virtual clock.
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/controller"
+	"flex/internal/impact"
+	"flex/internal/placement"
+	"flex/internal/power"
+	"flex/internal/rackmgr"
+	"flex/internal/sim"
+	"flex/internal/stats"
+	"flex/internal/telemetry"
+	"flex/internal/workload"
+)
+
+// Config drives Run. Zero values select the paper's §V-C setup.
+type Config struct {
+	// Utilization is the steady-state aggregate utilization of provisioned
+	// power (paper: 80%).
+	Utilization float64
+	// Scenario supplies impact functions (paper: Figure 11(c),
+	// Realistic-1).
+	Scenario *impact.Scenario
+	// FailUPS is the UPS to fail.
+	FailUPS power.UPSID
+	// FailAt, RecoverAt, Duration stage the experiment (paper: failure
+	// after 12 minutes).
+	FailAt, RecoverAt, Duration time.Duration
+	// Tick is the simulation step (default 500ms).
+	Tick time.Duration
+	// Controllers is the number of multi-primary controller instances
+	// (default 3).
+	Controllers int
+	// Seed drives workload dynamics and meter noise.
+	Seed int64
+	// TraceSeed drives the demand trace.
+	TraceSeed int64
+	// InjectTelemetryFaults, when true, fails one physical meter of every
+	// surviving UPS's consensus set and mis-calibrates another at the
+	// moment of the UPS failure — the §IV-C redundancy must mask both
+	// while Flex-Online is acting.
+	InjectTelemetryFaults bool
+	// Debug prints controller decisions to stdout.
+	Debug bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Utilization == 0 {
+		c.Utilization = 0.80
+	}
+	if c.Scenario == nil {
+		s := impact.Realistic1()
+		c.Scenario = &s
+	}
+	if c.FailAt == 0 {
+		c.FailAt = 12 * time.Minute
+	}
+	if c.RecoverAt == 0 {
+		c.RecoverAt = 18 * time.Minute
+	}
+	if c.Duration == 0 {
+		c.Duration = 24 * time.Minute
+	}
+	if c.Tick == 0 {
+		c.Tick = 500 * time.Millisecond
+	}
+	if c.Controllers == 0 {
+		c.Controllers = 3
+	}
+	if c.TraceSeed == 0 {
+		c.TraceSeed = 9
+	}
+}
+
+// Stage labels for the timeline (Figure 13's A–G annotations).
+const (
+	StageSetup    = "setup"
+	StageNormal   = "normal"
+	StageFailover = "failover"
+	StageRecovery = "recovery"
+)
+
+// TimePoint is one sample of the emulation timeline.
+type TimePoint struct {
+	T     time.Duration
+	Stage string
+	// UPSPower is the ground-truth output power per UPS (Figure 13a).
+	UPSPower []power.Watts
+	// RackPower is the total rack power by category (Figure 13b).
+	RackPower map[workload.Category]power.Watts
+}
+
+// Result summarizes a run.
+type Result struct {
+	Series []TimePoint
+	// SRShutdownFrac is the fraction of software-redundant racks shut
+	// down during the failover (paper: 64%).
+	SRShutdownFrac float64
+	// CapThrottledFrac is the fraction of cap-able racks throttled
+	// (paper: 51%).
+	CapThrottledFrac float64
+	// NonCapTouched counts non-cap-able racks acted on (must be 0).
+	NonCapTouched int
+	// DetectionLatency is from the UPS failure to the first enforced
+	// corrective action.
+	DetectionLatency time.Duration
+	// ShaveLatency is from the UPS failure until every surviving UPS is
+	// back below rated capacity (must be within the Flex 10s budget).
+	ShaveLatency time.Duration
+	// Outage reports whether any UPS overload outlasted its trip-curve
+	// tolerance (cascading failure — must be false).
+	Outage bool
+	// Insufficient is true when Algorithm 1 ran out of shaveable racks.
+	Insufficient bool
+	// BaselineP95, ThrottledP95 are the TPC-E-like 95th-percentile
+	// latencies (arbitrary units) of cap-able racks outside and inside
+	// the throttled window; P95IncreasePct compares them (paper: +4.7%).
+	BaselineP95, ThrottledP95 float64
+	P95IncreasePct            float64
+	// WorstIncreasePct is the worst per-tick latency increase of any
+	// throttled rack (paper: 14%).
+	WorstIncreasePct float64
+	// RestoredAll reports whether every acted rack was restored by the
+	// end of the run.
+	RestoredAll bool
+}
+
+// rackSim is the live state of one emulated rack.
+type rackSim struct {
+	sim.Rack
+	demand    float64 // demanded power fraction of allocation (AR(1))
+	rampUntil time.Duration
+}
+
+// Run executes the emulation.
+func Run(cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	room := placement.EmulationRoom()
+	topo := room.Topo
+
+	// Place the demand with Flex-Offline-Short (paper methodology), one
+	// workload per category.
+	tcfg := workload.DefaultTraceConfig(topo.ProvisionedPower())
+	tcfg.WorkloadsPerCategory = 1
+	tcfg.FlexPowerMin, tcfg.FlexPowerMax = 0.845, 0.855 // paper: flex power 85%
+	trace, err := workload.GenerateTrace(tcfg, rand.New(rand.NewSource(cfg.TraceSeed)))
+	if err != nil {
+		return nil, err
+	}
+	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150}.Place(room, trace)
+	if err != nil {
+		return nil, err
+	}
+	racks := sim.ExpandRacks(pl)
+	if len(racks) == 0 {
+		return nil, fmt.Errorf("emu: nothing placed")
+	}
+	managed := sim.ManagedRacks(racks)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	clk := clock.NewVirtual(start)
+
+	// Per-category demand ratios (TeraSort-like batch hot, TPC-E-like
+	// OLTP near its flex power, non-cap-able cooler), normalized against
+	// the placed mix so the aggregate draw hits cfg.Utilization exactly.
+	ratio := map[workload.Category]float64{
+		workload.SoftwareRedundant:      0.90 / 0.80,
+		workload.NonRedundantCapable:    0.83 / 0.80,
+		workload.NonRedundantNonCapable: 0.67 / 0.80,
+	}
+	var weighted float64
+	for _, r := range racks {
+		weighted += ratio[r.Category] * float64(r.Allocated)
+	}
+	// Scale so the aggregate draw at full demand equals Utilization ×
+	// provisioned power — the paper's "80% of the provisioned power at
+	// the UPS level" (§V-C); placed allocation is slightly below
+	// provisioned, so per-rack duty runs a little above the aggregate.
+	norm := cfg.Utilization * float64(topo.ProvisionedPower()) / weighted
+	for c := range ratio {
+		ratio[c] *= norm
+	}
+
+	// Live rack state.
+	sims := make([]*rackSim, len(racks))
+	for i, r := range racks {
+		sims[i] = &rackSim{Rack: r, demand: 0.2}
+	}
+	ids := make([]string, len(racks))
+	for i, r := range racks {
+		ids[i] = r.ID
+	}
+	mgr := rackmgr.NewManager(clk, ids)
+
+	// Ground truth: rack power honoring actuation state, and UPS loads
+	// honoring the failover transfer.
+	inactive := map[power.UPSID]bool{}
+	rackPowerOf := func(rs *rackSim) power.Watts {
+		st, cap, _ := mgr.State(rs.ID)
+		switch st {
+		case rackmgr.Off:
+			return 0
+		case rackmgr.Throttled:
+			p := power.Watts(rs.demand * float64(rs.Allocated))
+			if p > cap {
+				p = cap
+			}
+			return p
+		default:
+			return power.Watts(rs.demand * float64(rs.Allocated))
+		}
+	}
+	upsTruth := func() []power.Watts {
+		load := power.NewPairLoad(topo)
+		for _, rs := range sims {
+			load[rs.Pair] += rackPowerOf(rs)
+		}
+		loads := make([]power.Watts, len(topo.UPSes))
+		for _, p := range topo.Pairs {
+			w := load[p.ID]
+			a, b := p.UPSes[0], p.UPSes[1]
+			switch {
+			case inactive[a] && inactive[b]:
+			case inactive[a]:
+				loads[b] += w
+			case inactive[b]:
+				loads[a] += w
+			default:
+				loads[a] += w / 2
+				loads[b] += w / 2
+			}
+		}
+		return loads
+	}
+
+	// Telemetry: consensus meters over the ground truth, pumped
+	// synchronously into the controller views on the paper's cadences.
+	upsView := telemetry.NewLatestPower()
+	rackView := telemetry.NewLatestPower()
+	upsMeters := make([]*telemetry.LogicalMeter, len(topo.UPSes))
+	for u := range topo.UPSes {
+		u := u
+		upsMeters[u] = telemetry.NewUPSLogicalMeter(topo.UPSes[u].Name,
+			func() power.Watts { return upsTruth()[u] },
+			func() power.Watts { return 60 * power.KW }, // mechanical load
+			cfg.Seed+int64(u)*7)
+	}
+	rackMeters := make([]*telemetry.SimMeter, len(sims))
+	for i, rs := range sims {
+		rs := rs
+		rackMeters[i] = telemetry.NewSimMeter(rs.ID,
+			func() power.Watts { return rackPowerOf(rs) },
+			telemetry.SimMeterConfig{Noise: 0.01, Seed: cfg.Seed + 1000 + int64(i)})
+	}
+
+	// Controllers (multi-primary).
+	ctls := make([]*controller.Controller, cfg.Controllers)
+	for i := range ctls {
+		ctls[i] = controller.New(controller.Config{
+			Name:     fmt.Sprintf("flex-ctl-%d", i+1),
+			Clock:    clk,
+			Topo:     topo,
+			Racks:    managed,
+			UPSView:  upsView,
+			RackView: rackView,
+			Actuator: mgr,
+			Scenario: *cfg.Scenario,
+		})
+	}
+
+	res := &Result{}
+	curve := power.EndOfLifeTripCurve
+	overFor := make([]time.Duration, len(topo.UPSes))
+	var latBase, latThrottled []float64
+	firstEnforce := time.Duration(-1)
+	shavedAt := time.Duration(-1)
+
+	srTotal, capTotal := 0, 0
+	for _, r := range racks {
+		switch r.Category {
+		case workload.SoftwareRedundant:
+			srTotal++
+		case workload.NonRedundantCapable:
+			capTotal++
+		}
+	}
+	maxShut, maxThrottled := 0, 0
+
+	ticks := int(cfg.Duration / cfg.Tick)
+	upsTick := int((1500 * time.Millisecond) / cfg.Tick) // UPS poll cadence
+	rackTick := int((2 * time.Second) / cfg.Tick)        // rack poll cadence
+	if upsTick < 1 {
+		upsTick = 1
+	}
+	if rackTick < 1 {
+		rackTick = 1
+	}
+
+	dt := cfg.Tick.Seconds()
+	for i := 0; i <= ticks; i++ {
+		now := time.Duration(i) * cfg.Tick
+		stage := StageSetup
+		target := cfg.Utilization
+		switch {
+		case now < 2*time.Minute:
+			stage = StageSetup
+			target = cfg.Utilization * (0.25 + 0.75*now.Seconds()/120)
+		case now < cfg.FailAt:
+			stage = StageNormal
+		case now < cfg.RecoverAt:
+			stage = StageFailover
+		default:
+			stage = StageRecovery
+		}
+
+		// Failure / recovery events.
+		if now == cfg.FailAt {
+			inactive[cfg.FailUPS] = true
+			if cfg.InjectTelemetryFaults {
+				for u, lm := range upsMeters {
+					if power.UPSID(u) == cfg.FailUPS {
+						continue
+					}
+					// One hard meter failure and one +2% misreading per
+					// surviving UPS; the median consensus absorbs both.
+					lm.Meters()[0].(*telemetry.SimMeter).SetFailed(true)
+					lm.Meters()[1].(*telemetry.SimMeter).SetOffset(
+						power.Watts(0.02 * float64(topo.UPSes[u].Capacity)))
+				}
+			}
+		}
+		if now == cfg.RecoverAt {
+			delete(inactive, cfg.FailUPS)
+		}
+
+		// Advance workload dynamics (AR(1) demand around per-category
+		// targets). The synthetic benchmarks run at different duty:
+		// TeraSort-like batch (software-redundant) near full tilt, the
+		// TPC-E-like OLTP (cap-able) close to its flex power, and the
+		// non-cap-able racks lower — mixing to the aggregate target
+		// (ratios relative to the paper's 80% aggregate setup).
+		for _, rs := range sims {
+			// target already folds in the setup ramp; ratio folds in the
+			// steady-state utilization.
+			catTarget := target / cfg.Utilization * ratio[rs.Category]
+			if catTarget > 1 {
+				catTarget = 1
+			}
+			theta, sigma := 0.08, 0.020
+			rs.demand += theta*(catTarget-rs.demand)*dt + sigma*rng.NormFloat64()*dt
+			if rs.demand < 0.1 {
+				rs.demand = 0.1
+			}
+			if rs.demand > 1 {
+				rs.demand = 1
+			}
+		}
+
+		// TPC-E-like latency model for cap-able racks: capping below the
+		// demanded power queues requests and inflates tail latency.
+		for _, rs := range sims {
+			if rs.Category != workload.NonRedundantCapable {
+				continue
+			}
+			st, cap, _ := mgr.State(rs.ID)
+			base := 1.0 + 0.02*rng.NormFloat64()
+			lat := base
+			throttledNow := st == rackmgr.Throttled
+			if throttledNow {
+				demand := rs.demand * float64(rs.Allocated)
+				if demand > float64(cap) && cap > 0 {
+					over := (demand - float64(cap)) / float64(cap)
+					lat = base * (1 + 0.42*over)
+					if inc := (lat/base - 1) * 100; inc > res.WorstIncreasePct {
+						res.WorstIncreasePct = inc
+					}
+				}
+			}
+			if stage == StageFailover && throttledNow {
+				latThrottled = append(latThrottled, lat)
+			} else if stage == StageNormal {
+				latBase = append(latBase, lat)
+			}
+		}
+
+		// Telemetry pumps on their cadences.
+		wall := clk.Now()
+		if i%upsTick == 0 {
+			for u, lm := range upsMeters {
+				v, err := lm.Read(wall)
+				upsView.Update(telemetry.Sample{
+					Device: topo.UPSes[u].Name, Power: v, Valid: err == nil, MeasuredAt: wall,
+				})
+			}
+		}
+		if i%rackTick == 0 {
+			for j, m := range rackMeters {
+				v, err := m.Read(wall)
+				rackView.Update(telemetry.Sample{
+					Device: sims[j].ID, Power: v, Valid: err == nil, MeasuredAt: wall,
+				})
+			}
+		}
+
+		if cfg.Debug && now >= cfg.FailAt && now <= cfg.FailAt+5*time.Second {
+			tr := upsTruth()
+			fmt.Printf("t=%v truth=[%.3f %.3f %.3f %.3f]MW\n", now,
+				float64(tr[0])/1e6, float64(tr[1])/1e6, float64(tr[2])/1e6, float64(tr[3])/1e6)
+		}
+		// Controllers evaluate.
+		for ci, c := range ctls {
+			out := c.Step()
+			if cfg.Debug && (out.Enforced > 0 || out.Restored > 0 || out.Insufficient) {
+				kinds := map[string]int{}
+				for _, a := range out.Planned {
+					kinds[a.Kind.String()]++
+				}
+				fmt.Printf("t=%v ctl=%d planned=%v enforced=%d restored=%d insufficient=%v errs=%d\n",
+					now, ci, kinds, out.Enforced, out.Restored, out.Insufficient, out.EnforceErrors)
+			}
+			if out.Enforced > 0 && firstEnforce < 0 && now >= cfg.FailAt {
+				firstEnforce = now - cfg.FailAt
+			}
+			if out.Insufficient {
+				res.Insufficient = true
+			}
+		}
+
+		// Count action extents.
+		shut, throttled := 0, 0
+		for _, rs := range sims {
+			st, _, _ := mgr.State(rs.ID)
+			switch {
+			case st == rackmgr.Off && rs.Category == workload.SoftwareRedundant:
+				shut++
+			case st == rackmgr.Throttled && rs.Category == workload.NonRedundantCapable:
+				throttled++
+			case st != rackmgr.On && rs.Category == workload.NonRedundantNonCapable:
+				res.NonCapTouched++
+			}
+		}
+		if shut > maxShut {
+			maxShut = shut
+		}
+		if throttled > maxThrottled {
+			maxThrottled = throttled
+		}
+
+		// Safety: overload accumulation vs trip curve.
+		truth := upsTruth()
+		for u := range topo.UPSes {
+			if inactive[power.UPSID(u)] {
+				overFor[u] = 0
+				continue
+			}
+			capW := topo.UPSes[u].Capacity
+			if truth[u] > capW {
+				overFor[u] += cfg.Tick
+				if overFor[u] > curve.Tolerance(float64(truth[u]/capW)) {
+					res.Outage = true
+				}
+			} else {
+				overFor[u] = 0
+			}
+		}
+		if now >= cfg.FailAt && now < cfg.RecoverAt && shavedAt < 0 {
+			allUnder := true
+			for u := range topo.UPSes {
+				if inactive[power.UPSID(u)] {
+					continue
+				}
+				if truth[u] > topo.UPSes[u].Capacity {
+					allUnder = false
+				}
+			}
+			if allUnder && now > cfg.FailAt {
+				shavedAt = now - cfg.FailAt
+			}
+		}
+
+		// Record the timeline.
+		byCat := map[workload.Category]power.Watts{}
+		for _, rs := range sims {
+			byCat[rs.Category] += rackPowerOf(rs)
+		}
+		res.Series = append(res.Series, TimePoint{
+			T: now, Stage: stage, UPSPower: truth, RackPower: byCat,
+		})
+
+		clk.Advance(cfg.Tick)
+	}
+
+	if srTotal > 0 {
+		res.SRShutdownFrac = float64(maxShut) / float64(srTotal)
+	}
+	if capTotal > 0 {
+		res.CapThrottledFrac = float64(maxThrottled) / float64(capTotal)
+	}
+	res.DetectionLatency = firstEnforce
+	res.ShaveLatency = shavedAt
+	res.BaselineP95 = stats.Percentile(latBase, 95)
+	res.ThrottledP95 = stats.Percentile(latThrottled, 95)
+	if res.BaselineP95 > 0 {
+		res.P95IncreasePct = (res.ThrottledP95/res.BaselineP95 - 1) * 100
+	}
+	restored := true
+	for _, rs := range sims {
+		st, _, _ := mgr.State(rs.ID)
+		if st != rackmgr.On {
+			restored = false
+		}
+	}
+	res.RestoredAll = restored
+	return res, nil
+}

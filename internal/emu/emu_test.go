@@ -1,0 +1,226 @@
+package emu
+
+import (
+	"testing"
+	"time"
+
+	"flex/internal/impact"
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+func extreme2() impact.Scenario { return impact.Extreme2() }
+
+// runShort runs a compressed emulation to keep unit tests fast: 1s ticks,
+// failure at 4 minutes, recovery at 7, 10 minutes total.
+func runShort(t *testing.T, mutate func(*Config)) *Result {
+	t.Helper()
+	cfg := Config{
+		Tick:      time.Second,
+		FailAt:    4 * time.Minute,
+		RecoverAt: 7 * time.Minute,
+		Duration:  10 * time.Minute,
+		Seed:      1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEmulationLifecycle(t *testing.T) {
+	res := runShort(t, nil)
+
+	// No cascading failure, ever.
+	if res.Outage {
+		t.Fatal("emulation cascaded into an outage")
+	}
+	// Corrective actions happened and touched only permissible racks.
+	if res.SRShutdownFrac <= 0 {
+		t.Error("no software-redundant racks were shut down")
+	}
+	if res.CapThrottledFrac <= 0 {
+		t.Error("no cap-able racks were throttled")
+	}
+	if res.NonCapTouched != 0 {
+		t.Errorf("non-cap-able racks touched: %d", res.NonCapTouched)
+	}
+	// Detection + shaving inside the 10-second Flex budget.
+	if res.DetectionLatency < 0 {
+		t.Fatal("no corrective action was enforced")
+	}
+	if res.ShaveLatency < 0 || res.ShaveLatency > power.FlexLatencyBudget {
+		t.Errorf("shave latency %v outside the 10s budget", res.ShaveLatency)
+	}
+	// Everything restored after recovery.
+	if !res.RestoredAll {
+		t.Error("racks left unrestored at the end")
+	}
+	if res.Insufficient {
+		t.Error("Algorithm 1 ran out of shaveable power at 80% utilization")
+	}
+}
+
+func TestEmulationTimelineShape(t *testing.T) {
+	res := runShort(t, nil)
+	if len(res.Series) == 0 {
+		t.Fatal("empty series")
+	}
+	stages := map[string]bool{}
+	for _, p := range res.Series {
+		stages[p.Stage] = true
+	}
+	for _, s := range []string{StageSetup, StageNormal, StageFailover, StageRecovery} {
+		if !stages[s] {
+			t.Errorf("stage %s missing from timeline", s)
+		}
+	}
+	// During failover the failed UPS carries no load.
+	var failoverSeen bool
+	for _, p := range res.Series {
+		if p.Stage == StageFailover {
+			failoverSeen = true
+			if p.UPSPower[0] != 0 {
+				t.Fatalf("failed UPS carries %v during failover", p.UPSPower[0])
+			}
+		}
+	}
+	if !failoverSeen {
+		t.Fatal("no failover points")
+	}
+	// Normal-operation utilization approaches the 80% target.
+	var lastNormal TimePoint
+	for _, p := range res.Series {
+		if p.Stage == StageNormal {
+			lastNormal = p
+		}
+	}
+	var total power.Watts
+	for _, w := range lastNormal.UPSPower {
+		total += w
+	}
+	util := float64(total) / float64(4.8*power.MW)
+	if util < 0.6 || util > 0.95 {
+		t.Errorf("steady utilization %.2f, want ≈0.8", util)
+	}
+}
+
+func TestEmulationLatencyModel(t *testing.T) {
+	res := runShort(t, nil)
+	if res.BaselineP95 <= 0 || res.ThrottledP95 <= 0 {
+		t.Fatal("latency percentiles missing")
+	}
+	// The paper reports +4.7% p95 on throttled racks (worst 14%). The
+	// shape requirement: a small but positive degradation, far below 2×.
+	if res.P95IncreasePct < 0 {
+		t.Errorf("throttled p95 below baseline: %+.2f%%", res.P95IncreasePct)
+	}
+	if res.P95IncreasePct > 30 {
+		t.Errorf("throttled p95 increase %.1f%% implausibly high", res.P95IncreasePct)
+	}
+	if res.WorstIncreasePct > 60 {
+		t.Errorf("worst-case increase %.1f%% implausibly high", res.WorstIncreasePct)
+	}
+}
+
+func TestEmulationSeriesCategoriesPresent(t *testing.T) {
+	res := runShort(t, nil)
+	last := res.Series[len(res.Series)-1]
+	for _, cat := range workload.Categories {
+		if last.RackPower[cat] <= 0 {
+			t.Errorf("category %v has no power at end of run", cat)
+		}
+	}
+}
+
+func TestEmulationDeterministic(t *testing.T) {
+	a := runShort(t, nil)
+	b := runShort(t, nil)
+	if a.SRShutdownFrac != b.SRShutdownFrac || a.CapThrottledFrac != b.CapThrottledFrac {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v",
+			a.SRShutdownFrac, a.CapThrottledFrac, b.SRShutdownFrac, b.CapThrottledFrac)
+	}
+	if a.DetectionLatency != b.DetectionLatency {
+		t.Fatalf("nondeterministic detection latency: %v vs %v", a.DetectionLatency, b.DetectionLatency)
+	}
+}
+
+func TestEmulationLowUtilizationNeedsNoActions(t *testing.T) {
+	res := runShort(t, func(c *Config) { c.Utilization = 0.55 })
+	// At 55% utilization the failover load stays below capacity
+	// (0.55 × 4/3 ≈ 0.73), so no corrective actions are needed.
+	if res.SRShutdownFrac > 0 || res.CapThrottledFrac > 0 {
+		t.Errorf("actions at 55%% utilization: shut=%v throttled=%v",
+			res.SRShutdownFrac, res.CapThrottledFrac)
+	}
+	if res.Outage {
+		t.Error("outage at low utilization")
+	}
+}
+
+func TestEmulationSurvivesTelemetryFaults(t *testing.T) {
+	// §IV-C: the pipeline's redundancy must mask a meter failure plus a
+	// misreading per device injected at the worst possible moment — the
+	// UPS failure itself.
+	res := runShort(t, func(c *Config) { c.InjectTelemetryFaults = true })
+	if res.Outage {
+		t.Fatal("outage with telemetry faults")
+	}
+	if res.DetectionLatency < 0 {
+		t.Fatal("failover never detected with degraded telemetry")
+	}
+	if res.ShaveLatency < 0 || res.ShaveLatency > power.FlexLatencyBudget {
+		t.Fatalf("shave latency %v with degraded telemetry", res.ShaveLatency)
+	}
+	if res.NonCapTouched != 0 {
+		t.Fatal("non-cap-able racks touched")
+	}
+}
+
+// TestEmulationMultiSeedRobustness sweeps seeds and scenarios asserting
+// the global safety invariants hold everywhere (guarded by -short).
+func TestEmulationMultiSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	scenarios := map[string]func() *Result{}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		for _, mk := range []struct {
+			name string
+			mut  func(*Config)
+		}{
+			{"Realistic-1", nil},
+			{"Extreme-2", func(c *Config) { s := extreme2(); c.Scenario = &s }},
+		} {
+			mk := mk
+			scenarios[mk.name+"-"+string(rune('0'+seed))] = func() *Result {
+				return runShort(t, func(c *Config) {
+					c.Seed = seed
+					if mk.mut != nil {
+						mk.mut(c)
+					}
+				})
+			}
+		}
+	}
+	for name, run := range scenarios {
+		res := run()
+		if res.Outage {
+			t.Errorf("%s: outage", name)
+		}
+		if res.NonCapTouched != 0 {
+			t.Errorf("%s: non-cap-able touched", name)
+		}
+		if res.ShaveLatency > power.FlexLatencyBudget {
+			t.Errorf("%s: shave latency %v", name, res.ShaveLatency)
+		}
+		if !res.RestoredAll {
+			t.Errorf("%s: not fully restored", name)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package feasibility
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaintenanceWindow is a stretch of hours whose utilization stays below a
+// threshold — where planned maintenance can run without ever engaging
+// Flex-Online (paper §III: utilizations are 15–19% lower at night and on
+// weekends for 6–12 hours, "providing enough time for planned
+// maintenance").
+type MaintenanceWindow struct {
+	// StartHour indexes into the utilization profile.
+	StartHour int
+	// Hours is the window length.
+	Hours int
+	// PeakUtilization is the maximum utilization inside the window.
+	PeakUtilization float64
+}
+
+// FindMaintenanceWindows scans an hourly utilization profile (typically
+// one week, 168 entries, wrapping around) for all maximal windows of at
+// least minHours whose utilization stays below threshold. Windows are
+// returned sorted by ascending peak utilization (safest first).
+func FindMaintenanceWindows(hourlyUtil []float64, minHours int, threshold float64) ([]MaintenanceWindow, error) {
+	n := len(hourlyUtil)
+	if n == 0 {
+		return nil, fmt.Errorf("feasibility: empty utilization profile")
+	}
+	if minHours <= 0 || minHours > n {
+		return nil, fmt.Errorf("feasibility: minHours %d outside [1,%d]", minHours, n)
+	}
+	below := func(i int) bool { return hourlyUtil[i%n] < threshold }
+
+	// Walk runs of below-threshold hours on the circular profile.
+	var windows []MaintenanceWindow
+	// If every hour is below threshold, the whole profile is one window.
+	all := true
+	for h := 0; h < n; h++ {
+		if !below(h) {
+			all = false
+			break
+		}
+	}
+	if all {
+		peak := 0.0
+		for _, u := range hourlyUtil {
+			if u > peak {
+				peak = u
+			}
+		}
+		return []MaintenanceWindow{{StartHour: 0, Hours: n, PeakUtilization: peak}}, nil
+	}
+	// Anchor the circular scan at an above-threshold hour so no quiet run
+	// is split across the wrap: every run encountered in the following n
+	// hours is complete (the hour after the scan is the above-threshold
+	// anchor again).
+	anchor := 0
+	for h := 0; h < n; h++ {
+		if !below(h) {
+			anchor = h
+			break
+		}
+	}
+	pos := anchor
+	for scanned := 0; scanned < n; {
+		for scanned < n && !below(pos%n) {
+			pos++
+			scanned++
+		}
+		if scanned >= n {
+			break
+		}
+		start := pos
+		peak := 0.0
+		for scanned < n && below(pos%n) {
+			if u := hourlyUtil[pos%n]; u > peak {
+				peak = u
+			}
+			pos++
+			scanned++
+		}
+		if pos-start >= minHours {
+			windows = append(windows, MaintenanceWindow{
+				StartHour:       start % n,
+				Hours:           pos - start,
+				PeakUtilization: peak,
+			})
+		}
+	}
+	sort.Slice(windows, func(a, b int) bool {
+		if windows[a].PeakUtilization != windows[b].PeakUtilization {
+			return windows[a].PeakUtilization < windows[b].PeakUtilization
+		}
+		return windows[a].StartHour < windows[b].StartHour
+	})
+	return windows, nil
+}
+
+// WeekProfile synthesizes an hourly one-week utilization profile with
+// weekday peaks at peak and nights/weekends dipping by nightDip (the
+// paper's 15–19%), for maintenance-scheduling studies.
+func WeekProfile(peak, nightDip float64) []float64 {
+	out := make([]float64, 7*24)
+	for d := 0; d < 7; d++ {
+		weekend := d >= 5
+		for h := 0; h < 24; h++ {
+			u := peak
+			night := h < 7 || h >= 21
+			if night {
+				u = peak - nightDip
+			}
+			if weekend {
+				u = peak - nightDip
+				if night {
+					u = peak - nightDip*1.15
+				}
+			}
+			out[d*24+h] = u
+		}
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. It is the foundation of the branch-and-bound MILP solver in
+// internal/milp, which together replace the commercial Gurobi solver the
+// paper used for the Flex-Offline placement ILP (§IV-B, §V-A).
+//
+// Problems are stated as: optimize c·x subject to A·x {<=,>=,=} b, x >= 0.
+// The solver converts to standard form with slack/surplus/artificial
+// variables and runs phase 1 (drive artificials out) then phase 2.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // =
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "?"
+	}
+}
+
+// Constraint is one linear constraint: Coeffs·x Sense RHS. Coeffs shorter
+// than the variable count are zero-extended.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over n = len(Objective) variables, all
+// implicitly bounded below by zero.
+type Problem struct {
+	Maximize    bool
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// AddConstraint appends a constraint and returns its index.
+func (p *Problem) AddConstraint(coeffs []float64, s Sense, rhs float64) int {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: s, RHS: rhs})
+	return len(p.Constraints) - 1
+}
+
+// Clone deep-copies the problem (constraint coefficient slices included).
+func (p *Problem) Clone() *Problem {
+	q := &Problem{Maximize: p.Maximize}
+	q.Objective = append([]float64(nil), p.Objective...)
+	q.Constraints = make([]Constraint, len(p.Constraints))
+	for i, c := range p.Constraints {
+		q.Constraints[i] = Constraint{
+			Coeffs: append([]float64(nil), c.Coeffs...),
+			Sense:  c.Sense,
+			RHS:    c.RHS,
+		}
+	}
+	return q
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of Solve. X and Objective are meaningful only when
+// Status == Optimal.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex on p.
+func Solve(p *Problem) (Result, error) {
+	n := p.NumVars()
+	if n == 0 {
+		return Result{}, fmt.Errorf("lp: problem has no variables")
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > n {
+			return Result{}, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), n)
+		}
+	}
+	t := newTableau(p)
+	// Phase 1: minimize sum of artificials.
+	if t.numArtificial > 0 {
+		if status := t.runSimplex(true); status == IterationLimit {
+			return Result{Status: IterationLimit}, nil
+		}
+		if t.phase1Objective() > 1e-6 {
+			return Result{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+	// Phase 2.
+	t.installPhase2Objective()
+	status := t.runSimplex(false)
+	if status != Optimal {
+		return Result{Status: status}, nil
+	}
+	x := t.extractSolution()
+	obj := 0.0
+	for i, c := range p.Objective {
+		obj += c * x[i]
+	}
+	return Result{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is a dense simplex tableau. Column layout:
+// [0..n) decision vars, [n..n+numSlack) slack/surplus, then artificials,
+// then the RHS column. Row m is the objective row.
+type tableau struct {
+	p             *Problem
+	n             int // decision variables
+	m             int // constraints
+	numSlack      int
+	numArtificial int
+	cols          int         // total variable columns (without RHS)
+	a             [][]float64 // (m+1) x (cols+1)
+	basis         []int       // basic variable per row
+	artStart      int
+}
+
+func newTableau(p *Problem) *tableau {
+	n := p.NumVars()
+	m := len(p.Constraints)
+	// Count slack and artificial columns. Normalize rows to RHS >= 0 first.
+	type row struct {
+		coeffs []float64
+		sense  Sense
+		rhs    float64
+	}
+	rows := make([]row, m)
+	numSlack, numArt := 0, 0
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		sense, rhs := c.Sense, c.RHS
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[i] = row{coeffs, sense, rhs}
+		switch sense {
+		case LE:
+			numSlack++ // slack enters basis
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	t := &tableau{
+		p: p, n: n, m: m,
+		numSlack: numSlack, numArtificial: numArt,
+		cols:     n + numSlack + numArt,
+		artStart: n + numSlack,
+	}
+	t.a = make([][]float64, m+1)
+	for i := range t.a {
+		t.a[i] = make([]float64, t.cols+1)
+	}
+	t.basis = make([]int, m)
+	slackIdx, artIdx := n, t.artStart
+	for i, r := range rows {
+		copy(t.a[i], r.coeffs)
+		t.a[i][t.cols] = r.rhs
+		switch r.sense {
+		case LE:
+			t.a[i][slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			t.a[i][slackIdx] = -1
+			slackIdx++
+			t.a[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			t.a[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		}
+	}
+	// Phase-1 objective: minimize sum of artificials ⇔ maximize -sum.
+	// Objective row holds reduced costs for maximization: we store -c in
+	// the row and pivot until all entries >= -eps.
+	if t.numArtificial > 0 {
+		obj := t.a[m]
+		for j := t.artStart; j < t.cols; j++ {
+			obj[j] = 1 // minimize sum(artificials): row = c for min ⇒ use max(-sum) form below
+		}
+		// Convert to "maximize -sum(art)": row entries are -cj = -(−1)?  We
+		// keep the convention: objective row r[j] = -c[j] for maximization.
+		// For maximize -sum(art): c[art] = -1 ⇒ r[art] = 1 (already set).
+		// Make the row consistent with the starting basis (artificials are
+		// basic): subtract their rows.
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= t.artStart {
+				for j := 0; j <= t.cols; j++ {
+					obj[j] -= t.a[i][j]
+				}
+			}
+		}
+	}
+	return t
+}
+
+// phase1Objective returns sum of artificial variables at the current basis.
+func (t *tableau) phase1Objective() float64 {
+	sum := 0.0
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.artStart {
+			sum += t.a[i][t.cols]
+		}
+	}
+	return sum
+}
+
+// driveOutArtificials pivots basic artificials out of the basis where
+// possible (degenerate rows), so phase 2 never re-enters them.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Find a non-artificial column with a nonzero entry to pivot in.
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If none exists the row is all-zero (redundant); leave it.
+	}
+}
+
+// installPhase2Objective rewrites the objective row for the real objective,
+// expressed in terms of the current (feasible) basis.
+func (t *tableau) installPhase2Objective() {
+	obj := t.a[t.m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	sign := 1.0
+	if !t.p.Maximize {
+		sign = -1.0 // minimize c·x ⇔ maximize (−c)·x
+	}
+	for j := 0; j < t.n; j++ {
+		obj[j] = -sign * t.p.Objective[j] // row stores -c for maximization
+	}
+	// Eliminate basic columns from the objective row.
+	for i := 0; i < t.m; i++ {
+		b := t.basis[i]
+		if math.Abs(obj[b]) > eps {
+			f := obj[b]
+			for j := 0; j <= t.cols; j++ {
+				obj[j] -= f * t.a[i][j]
+			}
+		}
+	}
+}
+
+// runSimplex pivots until optimal, unbounded, or the iteration cap. In
+// phase 1, artificial columns may leave but entering is allowed anywhere;
+// in phase 2 artificial columns are excluded from entering.
+func (t *tableau) runSimplex(phase1 bool) Status {
+	maxCols := t.cols
+	if !phase1 {
+		maxCols = t.artStart
+	}
+	obj := t.a[t.m]
+	maxIter := 50 * (t.m + t.cols + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: Dantzig (most negative reduced cost); switch to
+		// Bland (first negative) late to guarantee termination.
+		enter := -1
+		if iter < maxIter/2 {
+			best := -eps
+			for j := 0; j < maxCols; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < maxCols; j++ {
+				if obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Leaving row: minimum ratio; Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= eps {
+				continue
+			}
+			ratio := t.a[i][t.cols] / aij
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return IterationLimit
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.a[leave]
+	pv := row[enter]
+	inv := 1 / pv
+	for j := 0; j <= t.cols; j++ {
+		row[j] *= inv
+	}
+	row[enter] = 1 // kill rounding noise
+	for i := 0; i <= t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if math.Abs(f) <= eps {
+			t.a[i][enter] = 0
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.cols; j++ {
+			ri[j] -= f * row[j]
+		}
+		ri[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// extractSolution reads the decision variable values off the basis.
+func (t *tableau) extractSolution() []float64 {
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			v := t.a[i][t.cols]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

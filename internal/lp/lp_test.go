@@ -1,0 +1,328 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) Result {
+	t.Helper()
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", r.Status)
+	}
+	return r
+}
+
+func TestSolveSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4; x + 3y <= 6 → x=4, y=0, obj=12.
+	p := &Problem{Maximize: true, Objective: []float64{3, 2}}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-12) > 1e-6 {
+		t.Fatalf("objective = %v, want 12", r.Objective)
+	}
+	if math.Abs(r.X[0]-4) > 1e-6 || math.Abs(r.X[1]) > 1e-6 {
+		t.Fatalf("x = %v, want [4 0]", r.X)
+	}
+}
+
+func TestSolveClassicLP(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24; x + 2y <= 6 → x=3, y=1.5, obj=21.
+	p := &Problem{Maximize: true, Objective: []float64{5, 4}}
+	p.AddConstraint([]float64{6, 4}, LE, 24)
+	p.AddConstraint([]float64{1, 2}, LE, 6)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-21) > 1e-6 {
+		t.Fatalf("objective = %v, want 21", r.Objective)
+	}
+}
+
+func TestSolveMinimize(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10; x >= 2 → x=10 is wrong; optimum
+	// x=10,y=0? cost 20; or x=2,y=8 cost 28. Min is x=10,y=0 → 20.
+	p := &Problem{Maximize: false, Objective: []float64{2, 3}}
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-20) > 1e-6 {
+		t.Fatalf("objective = %v, want 20", r.Objective)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// max x + y s.t. x + y = 5; x <= 3 → obj 5.
+	p := &Problem{Maximize: true, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-5) > 1e-6 {
+		t.Fatalf("objective = %v, want 5", r.Objective)
+	}
+	if math.Abs(r.X[0]+r.X[1]-5) > 1e-6 {
+		t.Fatalf("equality violated: %v", r.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{Maximize: true, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := &Problem{Maximize: true, Objective: []float64{1, 0}}
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// max x s.t. -x <= -2 (i.e. x >= 2), x <= 7.
+	p := &Problem{Maximize: true, Objective: []float64{1}}
+	p.AddConstraint([]float64{-1}, LE, -2)
+	p.AddConstraint([]float64{1}, LE, 7)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-7) > 1e-6 {
+		t.Fatalf("objective = %v, want 7", r.Objective)
+	}
+}
+
+func TestSolveDegenerateTies(t *testing.T) {
+	// Degenerate problem with redundant constraints; Bland tie-breaking
+	// must still terminate at the optimum.
+	p := &Problem{Maximize: true, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", r.Objective)
+	}
+}
+
+func TestSolveNoVariables(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Fatal("expected error for empty problem")
+	}
+}
+
+func TestSolveTooManyCoeffs(t *testing.T) {
+	p := &Problem{Maximize: true, Objective: []float64{1}}
+	p.AddConstraint([]float64{1, 2}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected error for coefficient overflow")
+	}
+}
+
+func TestShortCoeffsZeroExtended(t *testing.T) {
+	// Constraint touching only x0 in a 3-var problem.
+	p := &Problem{Maximize: true, Objective: []float64{1, 1, 1}}
+	p.AddConstraint([]float64{1}, LE, 2)
+	p.AddConstraint([]float64{1, 1, 1}, LE, 5)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-5) > 1e-6 {
+		t.Fatalf("objective = %v, want 5", r.Objective)
+	}
+	if r.X[0] > 2+1e-6 {
+		t.Fatalf("x0 = %v violates its bound", r.X[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := &Problem{Maximize: true, Objective: []float64{1, 2}}
+	p.AddConstraint([]float64{1, 1}, LE, 3)
+	q := p.Clone()
+	q.Objective[0] = 99
+	q.Constraints[0].Coeffs[0] = 99
+	q.AddConstraint([]float64{1, 0}, LE, 1)
+	if p.Objective[0] != 1 || p.Constraints[0].Coeffs[0] != 1 || len(p.Constraints) != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestSenseAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" || Sense(9).String() != "?" {
+		t.Error("Sense strings")
+	}
+	for s, want := range map[Status]string{Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterationLimit: "iteration-limit"} {
+		if s.String() != want {
+			t.Errorf("Status %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status string")
+	}
+}
+
+// Property: for random bounded knapsack-style LPs, the solution respects
+// every constraint and every variable bound.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	f := func() bool {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := &Problem{Maximize: true, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64() * 10
+		}
+		for i := 0; i < m; i++ {
+			coeffs := make([]float64, n)
+			for j := range coeffs {
+				coeffs[j] = rng.Float64() * 5
+			}
+			p.AddConstraint(coeffs, LE, 1+rng.Float64()*20)
+		}
+		for j := 0; j < n; j++ { // bound each var so it's never unbounded
+			coeffs := make([]float64, n)
+			coeffs[j] = 1
+			p.AddConstraint(coeffs, LE, 10)
+		}
+		r, err := Solve(p)
+		if err != nil || r.Status != Optimal {
+			return false
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j, a := range c.Coeffs {
+				lhs += a * r.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range r.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LP optimum is invariant under constraint order permutation.
+func TestOrderInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 3
+		p := &Problem{Maximize: true, Objective: []float64{rng.Float64(), rng.Float64(), rng.Float64()}}
+		for i := 0; i < 4; i++ {
+			p.AddConstraint([]float64{rng.Float64(), rng.Float64(), rng.Float64()}, LE, 1+rng.Float64()*5)
+		}
+		for j := 0; j < n; j++ {
+			coeffs := make([]float64, n)
+			coeffs[j] = 1
+			p.AddConstraint(coeffs, LE, 4)
+		}
+		q := p.Clone()
+		rng.Shuffle(len(q.Constraints), func(i, j int) {
+			q.Constraints[i], q.Constraints[j] = q.Constraints[j], q.Constraints[i]
+		})
+		r1, _ := Solve(p)
+		r2, _ := Solve(q)
+		if r1.Status != Optimal || r2.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v %v", trial, r1.Status, r2.Status)
+		}
+		if math.Abs(r1.Objective-r2.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objectives differ: %v vs %v", trial, r1.Objective, r2.Objective)
+		}
+	}
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// Duplicated equality rows must not break phase 1 (redundant rows
+	// leave artificial variables basic at zero).
+	p := &Problem{Maximize: true, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-4) > 1e-6 {
+		t.Fatalf("objective = %v, want 4", r.Objective)
+	}
+}
+
+func TestSolveMixedSenses(t *testing.T) {
+	// min x + 2y s.t. x + y = 5, x >= 1, y <= 3 → x=2, y=3? cost 8;
+	// or x=4,y=1 cost 6; min picks y small: x=4,y=1 → 6... but y ≤ 3 and
+	// y ≥ 0: minimize 2y → y as small: y=0 → x=5 cost 5. x unbounded above.
+	p := &Problem{Maximize: false, Objective: []float64{1, 2}}
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, GE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-5) > 1e-6 {
+		t.Fatalf("objective = %v, want 5", r.Objective)
+	}
+}
+
+func TestSolveZeroRHSDegenerate(t *testing.T) {
+	// x <= 0 forces x = 0; the optimum is on a degenerate vertex.
+	p := &Problem{Maximize: true, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 0}, LE, 0)
+	p.AddConstraint([]float64{0, 1}, LE, 2)
+	r := solveOK(t, p)
+	if math.Abs(r.Objective-2) > 1e-6 || r.X[0] > 1e-9 {
+		t.Fatalf("objective = %v x = %v", r.Objective, r.X)
+	}
+}
+
+func TestSolveLargeDense(t *testing.T) {
+	// A bigger assignment-like LP to exercise pivoting performance and
+	// stability: 60 vars, 40 constraints.
+	rng := rand.New(rand.NewSource(8))
+	n, m := 60, 40
+	p := &Problem{Maximize: true, Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = 1 + rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		coeffs := make([]float64, n)
+		for j := range coeffs {
+			coeffs[j] = rng.Float64()
+		}
+		p.AddConstraint(coeffs, LE, 5+rng.Float64()*10)
+	}
+	for j := 0; j < n; j++ {
+		c := make([]float64, n)
+		c[j] = 1
+		p.AddConstraint(c, LE, 1)
+	}
+	r := solveOK(t, p)
+	if r.Objective <= 0 {
+		t.Fatalf("objective = %v", r.Objective)
+	}
+	for _, c := range p.Constraints {
+		lhs := 0.0
+		for j, a := range c.Coeffs {
+			lhs += a * r.X[j]
+		}
+		if lhs > c.RHS+1e-6 {
+			t.Fatal("constraint violated")
+		}
+	}
+}

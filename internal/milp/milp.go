@@ -1,0 +1,351 @@
+// Package milp implements a branch-and-bound mixed-integer linear program
+// solver on top of the simplex solver in internal/lp. Together they stand
+// in for the Gurobi solver the paper drives from its placement simulator
+// (§V-A); like the paper — which stops Gurobi after 5 minutes — milp
+// accepts a deadline and returns the best incumbent found so far.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"flex/internal/lp"
+)
+
+// Problem is an LP plus integrality requirements. Variables marked in
+// Integer must take integer values in the solution. (Binary variables are
+// expressed as integer variables with an explicit x <= 1 constraint.)
+type Problem struct {
+	LP      lp.Problem
+	Integer []bool // len == LP.NumVars(); true ⇒ variable must be integral
+}
+
+// Options tunes the search.
+type Options struct {
+	// TimeLimit bounds the wall-clock search time; zero means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored branch-and-bound nodes;
+	// zero means no limit.
+	MaxNodes int
+	// Incumbent, when non-nil, is a candidate solution used to warm-start
+	// pruning. It is verified for feasibility and integrality first.
+	Incumbent []float64
+	// Heuristic, when non-nil, maps a fractional relaxation solution to a
+	// candidate integral solution (e.g. rounding + greedy completion). The
+	// candidate is verified before being adopted; returning nil is fine.
+	Heuristic func(relaxed []float64) []float64
+	// RelGap, when positive, stops the search once the incumbent is within
+	// this relative distance of the best open bound (e.g. 0.01 = 1%). The
+	// result is then reported as Optimal within the gap.
+	RelGap float64
+	// Now supplies time (for tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible: the search hit a limit; the incumbent is feasible but not
+	// proven optimal (the paper's "stop the ILP solver after 5 minutes").
+	Feasible
+	// Infeasible: no integral solution exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+const intEps = 1e-6
+
+// Solve runs branch and bound. The search explores nodes best-bound-first,
+// branching on the most fractional integer variable.
+func Solve(p *Problem, opts Options) (Result, error) {
+	n := p.LP.NumVars()
+	if len(p.Integer) != n {
+		return Result{}, fmt.Errorf("milp: Integer mask has %d entries for %d variables", len(p.Integer), n)
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = now().Add(opts.TimeLimit)
+	}
+
+	sign := 1.0
+	if !p.LP.Maximize {
+		sign = -1.0 // internally we compare in "maximize" terms
+	}
+
+	var best *Result
+	tryCandidate := func(cand []float64) {
+		if cand == nil || len(cand) != n {
+			return
+		}
+		x := roundIntegers(cand, p.Integer)
+		if !p.feasible(x) {
+			return
+		}
+		obj := p.objectiveOf(x)
+		if best == nil || sign*obj > sign*best.Objective {
+			xc := append([]float64(nil), x...)
+			best = &Result{Status: Feasible, X: xc, Objective: obj}
+		}
+	}
+	tryCandidate(opts.Incumbent)
+
+	type node struct {
+		extra []lp.Constraint // branching constraints
+		bound float64         // parent relaxation objective (max-sense)
+	}
+	// Depth-first search (LIFO stack): incumbents surface quickly and the
+	// heuristic + bound pruning keep the tree small.
+	stack := []node{{bound: math.Inf(1)}}
+	res := Result{}
+	hitLimit := false
+
+	for len(stack) > 0 {
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			hitLimit = true
+			break
+		}
+		if !deadline.IsZero() && now().After(deadline) {
+			hitLimit = true
+			break
+		}
+		if opts.RelGap > 0 && best != nil {
+			open := math.Inf(-1)
+			for i := range stack {
+				if stack[i].bound > open {
+					open = stack[i].bound
+				}
+			}
+			if sign*best.Objective >= open-opts.RelGap*math.Abs(open) {
+				break // incumbent proven within the requested gap
+			}
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if best != nil && nd.bound <= sign*best.Objective+intEps {
+			continue // pruned by bound
+		}
+
+		sub := p.LP.Clone()
+		sub.Constraints = append(sub.Constraints, nd.extra...)
+		r, err := lp.Solve(sub)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Nodes++
+		switch r.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if len(nd.extra) == 0 {
+				return Result{Status: Unbounded, Nodes: res.Nodes}, nil
+			}
+			continue
+		case lp.IterationLimit:
+			continue // treat as unexplorable; keeps the search sound
+		}
+		relax := sign * r.Objective
+		if best != nil && relax <= sign*best.Objective+intEps {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branch, frac := -1, 0.0
+		for j := 0; j < n; j++ {
+			if !p.Integer[j] {
+				continue
+			}
+			f := r.X[j] - math.Floor(r.X[j])
+			dist := math.Min(f, 1-f)
+			if dist > intEps && dist > frac {
+				frac = dist
+				branch = j
+			}
+		}
+		if branch == -1 {
+			tryCandidate(r.X) // integral relaxation: new incumbent
+			continue
+		}
+		if opts.Heuristic != nil {
+			tryCandidate(opts.Heuristic(r.X))
+		}
+		// Branch: push floor first so the ceil ("take it") branch is
+		// explored first, which tends to reach incumbents sooner in
+		// packing problems.
+		floorC := lp.Constraint{Coeffs: unit(n, branch), Sense: lp.LE, RHS: math.Floor(r.X[branch])}
+		ceilC := lp.Constraint{Coeffs: unit(n, branch), Sense: lp.GE, RHS: math.Ceil(r.X[branch])}
+		for _, c := range []lp.Constraint{floorC, ceilC} {
+			child := node{bound: relax, extra: make([]lp.Constraint, len(nd.extra)+1)}
+			copy(child.extra, nd.extra)
+			child.extra[len(nd.extra)] = c
+			stack = append(stack, child)
+		}
+	}
+
+	if best == nil {
+		if hitLimit {
+			return Result{Status: Feasible, Nodes: res.Nodes, X: nil}, nil
+		}
+		return Result{Status: Infeasible, Nodes: res.Nodes}, nil
+	}
+	best.Nodes = res.Nodes
+	if hitLimit {
+		best.Status = Feasible
+	} else {
+		best.Status = Optimal
+	}
+	return *best, nil
+}
+
+// feasible reports whether x satisfies every constraint (with tolerance)
+// and every integrality requirement, and is non-negative.
+func (p *Problem) feasible(x []float64) bool {
+	for j, v := range x {
+		if v < -1e-9 {
+			return false
+		}
+		if p.Integer[j] && math.Abs(v-math.Round(v)) > intEps {
+			return false
+		}
+	}
+	for _, c := range p.LP.Constraints {
+		lhs := 0.0
+		for j, a := range c.Coeffs {
+			lhs += a * x[j]
+		}
+		switch c.Sense {
+		case lp.LE:
+			if lhs > c.RHS+1e-7 {
+				return false
+			}
+		case lp.GE:
+			if lhs < c.RHS-1e-7 {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > 1e-7 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// objectiveOf evaluates the objective at x.
+func (p *Problem) objectiveOf(x []float64) float64 {
+	obj := 0.0
+	for j, c := range p.LP.Objective {
+		obj += c * x[j]
+	}
+	return obj
+}
+
+// roundIntegers snaps near-integral entries to exact integers.
+func roundIntegers(x []float64, integer []bool) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j, isInt := range integer {
+		if isInt {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+func unit(n, j int) []float64 {
+	c := make([]float64, n)
+	c[j] = 1
+	return c
+}
+
+// GreedyBinaryIncumbent produces a feasible 0/1 assignment for a pure
+// binary maximization problem by setting variables to 1 in descending
+// objective-coefficient order whenever all constraints stay satisfied. It
+// is used to warm-start and as an ablation baseline for the placement ILP.
+// Only LE constraints with non-negative coefficients are supported; other
+// constraints cause a nil return.
+func GreedyBinaryIncumbent(p *Problem) []float64 {
+	n := p.LP.NumVars()
+	for _, c := range p.LP.Constraints {
+		if c.Sense != lp.LE {
+			return nil
+		}
+		for _, a := range c.Coeffs {
+			if a < 0 {
+				return nil
+			}
+		}
+	}
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	obj := p.LP.Objective
+	sort.Slice(order, func(a, b int) bool { return obj[order[a]] > obj[order[b]] })
+	x := make([]float64, n)
+	slack := make([]float64, len(p.LP.Constraints))
+	for i, c := range p.LP.Constraints {
+		slack[i] = c.RHS
+	}
+	for _, j := range order {
+		if obj[j] <= 0 {
+			continue
+		}
+		ok := true
+		for i, c := range p.LP.Constraints {
+			var a float64
+			if j < len(c.Coeffs) {
+				a = c.Coeffs[j]
+			}
+			if a > slack[i]+1e-9 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		x[j] = 1
+		for i, c := range p.LP.Constraints {
+			if j < len(c.Coeffs) {
+				slack[i] -= c.Coeffs[j]
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,107 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// TestGreedyBatchFallback exercises the path used when the ILP returns no
+// incumbent: largest-first first-fit placement must still be safe.
+func TestGreedyBatchFallback(t *testing.T) {
+	room := PaperRoom()
+	s := newState(room)
+	cfg := workload.DefaultTraceConfig(room.Topo.ProvisionedPower())
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FlexOffline{BatchFraction: 1}
+	f.greedyBatch(s, trace)
+	pl := s.result(trace)
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("greedy fallback produced unsafe placement: %v", err)
+	}
+	if len(pl.Placed()) == 0 {
+		t.Fatal("greedy fallback placed nothing")
+	}
+	// Largest-first: the biggest deployment must be placed (it fits an
+	// empty room).
+	maxPow := power.Watts(0)
+	var maxID int
+	for _, d := range trace {
+		if d.TotalPower() > maxPow {
+			maxPow, maxID = d.TotalPower(), d.ID
+		}
+	}
+	if _, ok := pl.Assignments[maxID]; !ok {
+		t.Fatal("largest deployment rejected by greedy fallback in an empty room")
+	}
+}
+
+// TestPlaceInComboBestFit verifies the best-fit-by-space rule.
+func TestPlaceInComboBestFit(t *testing.T) {
+	room := PaperRoom()
+	s := newState(room)
+	combos := combosOf(room.Topo)
+	cb := combos[0]
+	// Pre-fill the first pair of the combo so it has less space.
+	filler := workload.Deployment{ID: 100, Workload: "w", Category: workload.SoftwareRedundant,
+		Racks: 50, PowerPerRack: power.KW, FlexPowerFraction: 0}
+	s.place(filler, cb.pairs[0])
+	d := workload.Deployment{ID: 101, Workload: "w", Category: workload.SoftwareRedundant,
+		Racks: 10, PowerPerRack: power.KW, FlexPowerFraction: 0}
+	f := FlexOffline{BatchFraction: 1}
+	if !f.placeInCombo(s, cb, d) {
+		t.Fatal("placeInCombo failed with ample space")
+	}
+	// Best fit = smallest sufficient free space = the pre-filled pair
+	// (10 slots free) over the empty ones (60 free).
+	if got := s.placed[101]; got != cb.pairs[0] {
+		t.Fatalf("placed on pair %d, want best-fit pair %d", got, cb.pairs[0])
+	}
+	// When nothing in the combo fits, it must report false.
+	big := workload.Deployment{ID: 102, Workload: "w", Category: workload.SoftwareRedundant,
+		Racks: 61, PowerPerRack: power.KW, FlexPowerFraction: 0}
+	if f.placeInCombo(s, cb, big) {
+		t.Fatal("placeInCombo accepted an oversized deployment")
+	}
+}
+
+// TestPackBinsEffortCap: pathological inputs fall back gracefully.
+func TestPackBins(t *testing.T) {
+	mk := func(racks ...int) []workload.Deployment {
+		out := make([]workload.Deployment, len(racks))
+		for i, r := range racks {
+			out[i] = workload.Deployment{ID: i, Racks: r, PowerPerRack: power.KW,
+				Category: workload.SoftwareRedundant, Workload: "w"}
+		}
+		return out
+	}
+	// Exact packing exists: 20+20+20 into 60? bins {60}: all fit one bin.
+	if _, ok := packBins(mk(20, 20, 20), []int{60}); !ok {
+		t.Fatal("trivial packing failed")
+	}
+	// 7×20 into 3×50 is unpackable (the case that motivated packBins).
+	if _, ok := packBins(mk(20, 20, 20, 20, 20, 20, 20), []int{50, 50, 50}); ok {
+		t.Fatal("unpackable input packed")
+	}
+	// But 6×20 + 2×10 + 2×5 into 3×50 works (50 = 20+20+10 twice, 20+20+5+5).
+	assign, ok := packBins(mk(20, 20, 20, 20, 20, 20, 10, 10, 5, 5), []int{50, 50, 50})
+	if !ok {
+		t.Fatal("feasible packing not found")
+	}
+	// Verify the assignment respects capacities.
+	used := map[int]int{}
+	ds := mk(20, 20, 20, 20, 20, 20, 10, 10, 5, 5)
+	for i, b := range assign {
+		used[b] += ds[i].Racks
+	}
+	for b, u := range used {
+		if u > 50 {
+			t.Fatalf("bin %d overfilled: %d", b, u)
+		}
+	}
+}

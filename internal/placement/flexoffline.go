@@ -1,0 +1,656 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flex/internal/lp"
+	"flex/internal/milp"
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// FlexOffline is the paper's ILP placement policy (§IV-B). It batches the
+// short-term demand by BatchFraction of the room's provisioned power and,
+// per batch, solves the placement ILP: maximize placed power (equivalently,
+// minimize stranded power, Eq. 5) subject to single placement (Eq. 1),
+// normal-operation capacity (Eq. 2), and failover safety under maximal
+// shaving for every UPS failure (Eq. 4).
+//
+// Because all PDU-pairs connected to the same UPS combination are
+// electrically interchangeable, the ILP assigns deployments to UPS
+// combinations; deployments are then spread across that combination's
+// actual PDU-pairs best-fit by space. After each batch a local-search pass
+// rebalances placements across combinations (without changing the placed
+// power) to minimize the throttling-imbalance metric — the soft constraint
+// the paper mentions including in its evaluation.
+type FlexOffline struct {
+	// BatchFraction is the demand horizon as a fraction of provisioned
+	// power: 0.33 for Flex-Offline-Short, 0.66 for Flex-Offline-Long; any
+	// value >= the trace's total demand fraction behaves like
+	// Flex-Offline-Oracle. Must be positive.
+	BatchFraction float64
+	// TimeLimit bounds each batch's ILP solve (the paper stops Gurobi
+	// after 5 minutes). Zero means 15 seconds. MaxNodes is normally the
+	// binding limit; the time limit is a safety net.
+	TimeLimit time.Duration
+	// MaxNodes bounds each batch's branch-and-bound node count. Node
+	// budgets are deterministic, so two runs with the same trace produce
+	// the same placement. Zero means 1500.
+	MaxNodes int
+	// SkipBalanceRefinement disables the post-batch imbalance local search
+	// (used by ablation benchmarks).
+	SkipBalanceRefinement bool
+	// SkipDiversityReserve disables the workload-diversity headroom
+	// constraint (used by ablation benchmarks). By default each batch ILP
+	// keeps the room's cumulative post-shave allocation (CapPow) within
+	// the failover budget (y/x of provisioned power): a room whose
+	// post-shave load already equals surviving capacity at full fill can
+	// accept any future mix, so early non-shaveable-heavy batches cannot
+	// strand the remaining capacity (paper §IV: lack of workload
+	// diversity leads to stranded power).
+	SkipDiversityReserve bool
+	// Label overrides Name() (e.g. "Flex-Offline-Short").
+	Label string
+}
+
+// FlexOfflineShort returns the paper's Flex-Offline-Short configuration
+// (batches ≈33% of provisioned power).
+func FlexOfflineShort() FlexOffline {
+	return FlexOffline{BatchFraction: 0.33, Label: "Flex-Offline-Short"}
+}
+
+// FlexOfflineLong returns Flex-Offline-Long (≈66% batches).
+func FlexOfflineLong() FlexOffline {
+	return FlexOffline{BatchFraction: 0.66, Label: "Flex-Offline-Long"}
+}
+
+// FlexOfflineOracle returns Flex-Offline-Oracle (the entire trace in one
+// batch).
+func FlexOfflineOracle() FlexOffline {
+	return FlexOffline{BatchFraction: 10, Label: "Flex-Offline-Oracle"}
+}
+
+// Name implements Policy.
+func (f FlexOffline) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return fmt.Sprintf("Flex-Offline(%.2f)", f.BatchFraction)
+}
+
+// combo is one UPS combination with its member PDU-pairs.
+type combo struct {
+	upses [2]power.UPSID
+	pairs []power.PDUPairID
+}
+
+func combosOf(topo *power.Topology) []combo {
+	byKey := map[[2]power.UPSID]*combo{}
+	var order [][2]power.UPSID
+	for _, p := range topo.Pairs {
+		key := p.UPSes
+		c, ok := byKey[key]
+		if !ok {
+			c = &combo{upses: key}
+			byKey[key] = c
+			order = append(order, key)
+		}
+		c.pairs = append(c.pairs, p.ID)
+	}
+	out := make([]combo, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byKey[key])
+	}
+	return out
+}
+
+// Place implements Policy.
+func (f FlexOffline) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+	if f.BatchFraction <= 0 {
+		return nil, fmt.Errorf("placement: FlexOffline.BatchFraction must be positive")
+	}
+	timeLimit := f.TimeLimit
+	if timeLimit == 0 {
+		timeLimit = 15 * time.Second
+	}
+	maxNodes := f.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 1500
+	}
+	s := newState(room)
+	combos := combosOf(room.Topo)
+	batchPow := power.Watts(f.BatchFraction * float64(room.Topo.ProvisionedPower()))
+
+	var batch []workload.Deployment
+	var batchSum power.Watts
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := f.solveBatch(s, combos, batch, timeLimit, maxNodes); err != nil {
+			return err
+		}
+		if !f.SkipBalanceRefinement {
+			// Interim passes spread load only (imbalance weight 0): the
+			// throttling-imbalance metric is a property of the final
+			// placement, and folding it in early creates local optima
+			// that block the spreading moves later batches depend on.
+			f.refineBalance(s, 0)
+		}
+		batch, batchSum = nil, 0
+		return nil
+	}
+	for _, d := range trace {
+		batch = append(batch, d)
+		batchSum += d.TotalPower()
+		if batchSum >= batchPow {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if !f.SkipBalanceRefinement {
+		// Final global passes: spread first, then minimize the residual
+		// throttling-imbalance metric across all UPS failure combinations.
+		f.refineBalance(s, 0)
+		f.refineBalance(s, 100)
+	}
+	return s.result(trace), nil
+}
+
+// solveBatch builds and solves the batch ILP against the current state and
+// commits the resulting placements. All constraints are ≤ with non-negative
+// coefficients, so rounding a relaxation down is always feasible; the
+// branch-and-bound is warm-started with a greedy incumbent and given a
+// round-down-plus-completion heuristic.
+func (f FlexOffline) solveBatch(s *state, combos []combo, batch []workload.Deployment, timeLimit time.Duration, maxNodes int) error {
+	topo := s.room.Topo
+	nd, nc := len(batch), len(combos)
+	nVars := nd * nc // binary placement vars x[d*nc+c]
+
+	const mw = 1e6 // scale watts → MW for numerical conditioning
+	prob := &milp.Problem{
+		LP:      lp.Problem{Maximize: true, Objective: make([]float64, nVars)},
+		Integer: make([]bool, nVars),
+	}
+	for di, d := range batch {
+		for c := 0; c < nc; c++ {
+			prob.Integer[di*nc+c] = true
+			prob.LP.Objective[di*nc+c] = float64(d.TotalPower()) / mw
+		}
+	}
+	// Binary upper bounds.
+	for j := 0; j < nVars; j++ {
+		c := make([]float64, j+1)
+		c[j] = 1
+		prob.LP.AddConstraint(c, lp.LE, 1)
+	}
+	// Eq. 1: each deployment placed at most once.
+	for di := range batch {
+		c := make([]float64, nVars)
+		for ci := 0; ci < nc; ci++ {
+			c[di*nc+ci] = 1
+		}
+		prob.LP.AddConstraint(c, lp.LE, 1)
+	}
+	// Eq. 2: normal-operation headroom per UPS.
+	for u := range topo.UPSes {
+		c := make([]float64, nVars)
+		for di, d := range batch {
+			half := float64(d.TotalPower()) / 2 / mw
+			for ci, cb := range combos {
+				if cb.upses[0] == power.UPSID(u) || cb.upses[1] == power.UPSID(u) {
+					c[di*nc+ci] = half
+				}
+			}
+		}
+		rhs := float64(s.room.NormalLimit(power.UPSID(u))-s.normal[u]) / mw
+		prob.LP.AddConstraint(c, lp.LE, rhs)
+	}
+	// Eq. 4: failover headroom per (failed, survivor).
+	for fi := range topo.UPSes {
+		ff := power.UPSID(fi)
+		for u := range topo.UPSes {
+			uu := power.UPSID(u)
+			if uu == ff {
+				continue
+			}
+			c := make([]float64, nVars)
+			any := false
+			for di, d := range batch {
+				capPow := float64(d.CapPower()) / s.room.oversub() / mw
+				if capPow == 0 {
+					continue
+				}
+				for ci, cb := range combos {
+					w := failoverWeight(cb.upses[0], cb.upses[1], uu, ff)
+					if w > 0 {
+						c[di*nc+ci] = w * capPow
+						any = true
+					}
+				}
+			}
+			if any {
+				rhs := float64(topo.UPSes[u].Capacity-s.failCap[fi][u]) / mw
+				prob.LP.AddConstraint(c, lp.LE, rhs)
+			}
+		}
+	}
+	// Space per combo (sum of its pairs' remaining slots).
+	for ci, cb := range combos {
+		c := make([]float64, nVars)
+		free := 0
+		for _, pid := range cb.pairs {
+			free += s.slotsLeft[pid]
+		}
+		for di, d := range batch {
+			c[di*nc+ci] = float64(d.Racks)
+		}
+		prob.LP.AddConstraint(c, lp.LE, float64(free))
+	}
+	// Workload-diversity headroom: cumulative CapPow within the failover
+	// budget, so that shave-ability never becomes the binding constraint
+	// for future demand.
+	if !f.SkipDiversityReserve {
+		c := make([]float64, nVars)
+		any := false
+		for di, d := range batch {
+			capPow := float64(d.CapPower()) / s.room.oversub() / mw
+			if capPow == 0 {
+				continue
+			}
+			for ci := 0; ci < nc; ci++ {
+				c[di*nc+ci] = capPow
+				any = true
+			}
+		}
+		if any {
+			budget := float64(topo.ProvisionedPower()) * topo.Design.AllocationLimitFraction()
+			rhs := (budget - float64(s.placedCapPow)) / mw
+			prob.LP.AddConstraint(c, lp.LE, rhs)
+		}
+	}
+	// PDU-pair ratings (aggregate per combo; the pair-level check happens
+	// again at commit time through canPlace).
+	if s.room.PairCapacity > 0 {
+		for ci, cb := range combos {
+			c := make([]float64, nVars)
+			var free float64
+			for _, pid := range cb.pairs {
+				free += float64(s.room.PairCapacity-s.pairPow[pid]) / mw
+			}
+			for di, d := range batch {
+				c[di*nc+ci] = float64(d.TotalPower()) / mw
+			}
+			prob.LP.AddConstraint(c, lp.LE, free)
+		}
+	}
+	// Cooling (aggregate), if configured.
+	if s.room.CoolingCFM > 0 {
+		c := make([]float64, nVars)
+		for di, d := range batch {
+			for ci := 0; ci < nc; ci++ {
+				c[di*nc+ci] = float64(d.TotalPower()) * s.room.CFMPerWatt / mw
+			}
+		}
+		rhs := (s.room.CoolingCFM - float64(s.placedPow)*s.room.CFMPerWatt) / mw
+		prob.LP.AddConstraint(c, lp.LE, rhs)
+	}
+
+	heuristic := func(relaxed []float64) []float64 {
+		return roundDownAndComplete(prob, relaxed, nc)
+	}
+	res, err := milp.Solve(prob, milp.Options{
+		TimeLimit: timeLimit,
+		MaxNodes:  maxNodes,
+		Incumbent: milp.GreedyBinaryIncumbent(prob),
+		Heuristic: heuristic,
+		// The placement objective is in MW; differences below ~0.1% of a
+		// batch are far below a single deployment, so a 0.1% gap trades
+		// no placement quality for a large node-count reduction.
+		RelGap: 0.001,
+	})
+	if err != nil {
+		return err
+	}
+	var x []float64
+	switch res.Status {
+	case milp.Optimal, milp.Feasible:
+		x = res.X
+	}
+	if x == nil {
+		// No incumbent at all (cannot happen with a greedy warm start, but
+		// stay defensive): greedy per-deployment placement.
+		f.greedyBatch(s, batch)
+		return nil
+	}
+	// Commit: distribute the chosen deployments of each combo across its
+	// PDU-pairs. The ILP's space constraint is aggregate per combo, so an
+	// exact bin-packing search recovers a pair-level assignment whenever
+	// one exists; only genuinely unpackable leftovers fall back.
+	byCombo := make([][]workload.Deployment, nc)
+	for di, d := range batch {
+		for ci := 0; ci < nc; ci++ {
+			if x[di*nc+ci] > 0.5 {
+				byCombo[ci] = append(byCombo[ci], d)
+				break
+			}
+		}
+	}
+	for ci, ds := range byCombo {
+		f.commitCombo(s, combos[ci], ds)
+	}
+	return nil
+}
+
+// commitCombo places the deployments assigned to one combo onto its pairs,
+// using an exact bin-packing search first and greedy fallbacks after.
+func (f FlexOffline) commitCombo(s *state, cb combo, ds []workload.Deployment) {
+	if len(ds) == 0 {
+		return
+	}
+	sorted := append([]workload.Deployment(nil), ds...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Racks > sorted[j].Racks })
+	bins := make([]int, len(cb.pairs))
+	for i, pid := range cb.pairs {
+		bins[i] = s.slotsLeft[pid]
+	}
+	var rest []workload.Deployment
+	if assign, ok := packBins(sorted, bins); ok {
+		for i, d := range sorted {
+			// The ILP guaranteed combo-level power feasibility, but guard
+			// against accumulated rounding by re-checking each placement;
+			// anything rejected goes through the greedy fallback below.
+			if s.canPlace(d, cb.pairs[assign[i]]) {
+				s.place(d, cb.pairs[assign[i]])
+			} else {
+				rest = append(rest, d)
+			}
+		}
+	} else {
+		rest = sorted
+	}
+	for _, d := range rest {
+		if !f.placeInCombo(s, cb, d) {
+			f.placeAnywhere(s, d)
+		}
+	}
+}
+
+// packBins searches for an assignment of every item (by rack count) to a
+// bin with sufficient capacity, returning assign[i] = bin of items[i]. The
+// backtracking search prunes symmetric bin states and caps its effort, so
+// it stays fast for the ≤ a-few-dozen items per combo that occur here.
+func packBins(items []workload.Deployment, bins []int) ([]int, bool) {
+	assign := make([]int, len(items))
+	free := append([]int(nil), bins...)
+	steps := 0
+	const maxSteps = 200000
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(items) {
+			return true
+		}
+		if steps++; steps > maxSteps {
+			return false
+		}
+		seen := make(map[int]bool, len(free))
+		for b := range free {
+			if free[b] < items[i].Racks || seen[free[b]] {
+				continue
+			}
+			seen[free[b]] = true // identical residual capacity ⇒ symmetric
+			free[b] -= items[i].Racks
+			assign[i] = b
+			if try(i + 1) {
+				return true
+			}
+			free[b] += items[i].Racks
+		}
+		return false
+	}
+	if try(0) {
+		return assign, true
+	}
+	return nil, false
+}
+
+// roundDownAndComplete rounds a fractional relaxation down to a feasible
+// 0/1 vector (valid because every constraint is ≤ with non-negative
+// coefficients) and then greedily re-adds variables in descending
+// relaxation-value-then-objective order while all constraints hold.
+// Ties rotate across combos (the last sort key) so that an unconstrained
+// batch is spread rather than piled onto combo 0 — concentrated
+// placements poison later batches even when they are "optimal" now.
+func roundDownAndComplete(prob *milp.Problem, relaxed []float64, nc int) []float64 {
+	n := len(relaxed)
+	x := make([]float64, n)
+	slack := make([]float64, len(prob.LP.Constraints))
+	for i, c := range prob.LP.Constraints {
+		slack[i] = c.RHS
+	}
+	take := func(j int) bool {
+		for i, c := range prob.LP.Constraints {
+			if j < len(c.Coeffs) && c.Coeffs[j] > slack[i]+1e-9 {
+				return false
+			}
+		}
+		x[j] = 1
+		for i, c := range prob.LP.Constraints {
+			if j < len(c.Coeffs) {
+				slack[i] -= c.Coeffs[j]
+			}
+		}
+		return true
+	}
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	rot := func(j int) int { // combo index rotated by deployment index
+		return (j%nc + j/nc) % nc
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := order[a], order[b]
+		if relaxed[ja] != relaxed[jb] {
+			return relaxed[ja] > relaxed[jb]
+		}
+		if prob.LP.Objective[ja] != prob.LP.Objective[jb] {
+			return prob.LP.Objective[ja] > prob.LP.Objective[jb]
+		}
+		return rot(ja) < rot(jb)
+	})
+	for _, j := range order {
+		if relaxed[j] > 0.999 {
+			take(j)
+		}
+	}
+	for _, j := range order {
+		if x[j] == 0 && relaxed[j] > 1e-9 {
+			take(j)
+		}
+	}
+	for _, j := range order {
+		if x[j] == 0 {
+			take(j)
+		}
+	}
+	return x
+}
+
+// placeInCombo places d on the best-fit pair (smallest sufficient free
+// space) within the combo, honoring all constraints. Returns false when no
+// pair in the combo fits.
+func (f FlexOffline) placeInCombo(s *state, cb combo, d workload.Deployment) bool {
+	best := power.PDUPairID(-1)
+	bestFree := int(^uint(0) >> 1)
+	for _, pid := range cb.pairs {
+		if s.canPlace(d, pid) && s.slotsLeft[pid] < bestFree {
+			best, bestFree = pid, s.slotsLeft[pid]
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	s.place(d, best)
+	return true
+}
+
+// placeAnywhere places d on the first feasible pair of any combo.
+func (f FlexOffline) placeAnywhere(s *state, d workload.Deployment) bool {
+	for pid := range s.room.Topo.Pairs {
+		if s.canPlace(d, power.PDUPairID(pid)) {
+			s.place(d, power.PDUPairID(pid))
+			return true
+		}
+	}
+	return false
+}
+
+// greedyBatch is the fallback when the ILP finds no incumbent in time:
+// largest deployments first onto the first feasible pair.
+func (f FlexOffline) greedyBatch(s *state, batch []workload.Deployment) {
+	sorted := append([]workload.Deployment(nil), batch...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].TotalPower() > sorted[j].TotalPower()
+	})
+	for _, d := range sorted {
+		f.placeAnywhere(s, d)
+	}
+}
+
+// balanceScore is the hill-climbing objective for refineBalance. The
+// dominant term is the throttling-imbalance metric itself; the quadratic
+// terms provide a gradient even while nothing is overloaded yet, pushing
+// placements toward evenly spread failover and normal loads — which keeps
+// headroom balanced for future batches and is what lets large-horizon
+// batching realize its advantage.
+func (s *state) balanceScore(imbalanceWeight float64) float64 {
+	topo := s.room.Topo
+	score := imbalanceWeight * s.imbalance()
+	for f := range topo.UPSes {
+		for u := range topo.UPSes {
+			if u == f {
+				continue
+			}
+			cap := float64(topo.UPSes[u].Capacity)
+			// Non-SR load balance tracks the paper's imbalance metric;
+			// post-shave (failCap) balance preserves Eq. 4 headroom for
+			// future batches — the two differ when capable-heavy and
+			// non-cap-able-heavy combos coexist, and both matter.
+			util := float64(s.failCap[f][u]+s.throttleRec[f][u]) / cap
+			shaved := float64(s.failCap[f][u]) / cap
+			score += util*util + 2*shaved*shaved
+		}
+	}
+	for u := range topo.UPSes {
+		util := float64(s.normal[u]) / float64(topo.UPSes[u].Capacity)
+		score += util * util
+	}
+	return score
+}
+
+// refineBalance hill-climbs balanceScore by relocating placed deployments
+// between PDU-pairs (placed power is unchanged; every move re-validates
+// all constraints through the state). The search stops at a local optimum
+// or after a bounded number of sweeps.
+func (f FlexOffline) refineBalance(s *state, imbalanceWeight float64) {
+	const maxSweeps = 12
+	ids := make([]int, 0, len(s.placed))
+	for id := range s.placed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	byID := s.deploymentsByID()
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := false
+		cur := s.balanceScore(imbalanceWeight)
+		for _, id := range ids {
+			d, ok := byID[id]
+			if !ok {
+				continue
+			}
+			from := s.placed[id]
+			token := s.remove(d, from)
+			bestPid, bestVal := from, cur
+			for pid := range s.room.Topo.Pairs {
+				p := power.PDUPairID(pid)
+				if !s.canPlace(d, p) {
+					continue
+				}
+				s.place(d, p)
+				v := s.balanceScore(imbalanceWeight)
+				s.remove(d, p)
+				if v < bestVal-1e-9 {
+					bestPid, bestVal = p, v
+				}
+			}
+			if bestPid == from {
+				s.restoreAt(d, from, token)
+			} else {
+				s.place(d, bestPid)
+				improved = true
+				cur = bestVal
+			}
+		}
+		if s.swapSweep(ids, byID, imbalanceWeight) {
+			improved = true
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// swapSweep tries exchanging the pairs of every two placed deployments —
+// swaps can rebalance workload categories across UPS combinations when no
+// single relocation improves the score (single moves get stuck once all
+// pairs are nearly full). Returns whether any swap was applied.
+func (s *state) swapSweep(ids []int, byID map[int]workload.Deployment, imbalanceWeight float64) bool {
+	improved := false
+	cur := s.balanceScore(imbalanceWeight)
+	for i := 0; i < len(ids); i++ {
+		d1, ok := byID[ids[i]]
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(ids); j++ {
+			d2, ok := byID[ids[j]]
+			if !ok {
+				continue
+			}
+			p1, ok1 := s.placed[d1.ID]
+			p2, ok2 := s.placed[d2.ID]
+			if !ok1 || !ok2 || p1 == p2 {
+				continue
+			}
+			// Swapping identical electrical footprints cannot help.
+			if d1.Category == d2.Category && d1.TotalPower() == d2.TotalPower() {
+				continue
+			}
+			tok1 := s.remove(d1, p1)
+			tok2 := s.remove(d2, p2)
+			if s.canPlace(d1, p2) {
+				s.place(d1, p2)
+				if s.canPlace(d2, p1) {
+					s.place(d2, p1)
+					if v := s.balanceScore(imbalanceWeight); v < cur-1e-9 {
+						cur = v
+						improved = true
+						continue // keep the swap
+					}
+					s.remove(d2, p1)
+				}
+				s.remove(d1, p2)
+			}
+			s.restoreAt(d1, p1, tok1)
+			s.restoreAt(d2, p2, tok2)
+		}
+	}
+	return improved
+}

@@ -1,0 +1,76 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// heteroRoom builds a 4N/3 room with non-uniform UPS capacities: the
+// paper's formulation (Eq. 2/4) is per-UPS, so heterogeneous rooms must
+// work without code changes.
+func heteroRoom(t *testing.T) *Room {
+	t.Helper()
+	upses := []power.UPS{
+		{ID: 0, Name: "UPS-1", Capacity: 2.8 * power.MW},
+		{ID: 1, Name: "UPS-2", Capacity: 2.4 * power.MW},
+		{ID: 2, Name: "UPS-3", Capacity: 2.4 * power.MW},
+		{ID: 3, Name: "UPS-4", Capacity: 2.0 * power.MW},
+	}
+	var pairs []power.PDUPair
+	id := 0
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			pairs = append(pairs, power.PDUPair{
+				ID: power.PDUPairID(id), Name: "p", UPSes: [2]power.UPSID{power.UPSID(a), power.UPSID(b)},
+			})
+			id++
+		}
+	}
+	topo, err := power.NewCustomTopology(power.Redundancy{X: 4, Y: 3}, upses, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	room, err := NewRoom(topo, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return room
+}
+
+func TestHeterogeneousRoomPlacementSafety(t *testing.T) {
+	room := heteroRoom(t)
+	cfg := workload.DefaultTraceConfig(room.Topo.ProvisionedPower())
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{BalancedRoundRobin{}, FlexOffline{BatchFraction: 0.5, MaxNodes: 150}} {
+		pl, err := pol.Place(room, trace)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if len(pl.Placed()) == 0 {
+			t.Fatalf("%s: nothing placed", pol.Name())
+		}
+		// Heterogeneity must be respected: the small UPS-4 never exceeds
+		// its 2.0MW on any failover after shaving.
+		capLoad := pl.CapPairLoad()
+		for f := 0; f < 4; f++ {
+			loads := room.Topo.FailoverLoads(capLoad, power.UPSID(f))
+			for u, w := range loads {
+				if power.UPSID(u) == power.UPSID(f) {
+					continue
+				}
+				if w > room.Topo.UPSes[u].Capacity+power.CapacityTolerance {
+					t.Fatalf("%s: UPS %d over its heterogeneous rating on failure of %d", pol.Name(), u, f)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+func TestOversubscriptionRaisesAllocatable(t *testing.T) {
+	topo := PaperRoom().Topo
+	room, err := NewRoom(topo, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	room.Oversubscription = 1.15
+	// Limit = 2.4MW × 1 × 1.15.
+	want := power.Watts(1.15 * 2.4e6)
+	if got := room.NormalLimit(0); math.Abs(float64(got-want)) > 1 {
+		t.Fatalf("NormalLimit = %v, want %v", got, want)
+	}
+	// Oversubscription below 1 is treated as 1.
+	room.Oversubscription = 0.5
+	if got := room.NormalLimit(0); got != 2.4*power.MW {
+		t.Fatalf("sub-1 oversubscription limit = %v, want 2.4MW", got)
+	}
+}
+
+// TestOversubscriptionPlacesMorePower: composing oversubscription with
+// Flex (paper §I: "Oversubscription can be used in addition to Flex to
+// further increase server density").
+func TestOversubscriptionPlacesMorePower(t *testing.T) {
+	topo := PaperRoom().Topo
+	cfg := workload.DefaultTraceConfig(topo.ProvisionedPower())
+	cfg.TargetDemand = power.Watts(1.4 * float64(topo.ProvisionedPower()))
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
+
+	base, _ := NewRoom(topo, 120)
+	plBase, err := pol.Place(base, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, _ := NewRoom(topo, 120)
+	over.Oversubscription = 1.15
+	plOver, err := pol.Place(over, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plOver.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gain := float64(plOver.PairLoad().Total())/float64(plBase.PairLoad().Total()) - 1
+	if gain < 0.08 {
+		t.Fatalf("oversubscription gain only %.1f%%", gain*100)
+	}
+	// Worst-case realized draw (nameplate/1.15) stays failover-safe.
+	capLoad := plOver.CapPairLoad()
+	for f := range topo.UPSes {
+		if !topo.FailoverWithinCapacity(capLoad, power.UPSID(f)) {
+			t.Fatalf("oversubscribed room unsafe for failure of UPS %d", f)
+		}
+		out := topo.SimulateCascade(capLoad, power.UPSID(f), power.EndOfLifeTripCurve, time.Hour)
+		if out.Outage {
+			t.Fatalf("cascade on failure of UPS %d", f)
+		}
+	}
+}
+
+func TestOversubscriptionValidateConsistency(t *testing.T) {
+	// A placement valid under O=1.15 must fail validation when re-checked
+	// with O=1 (the allocation exceeds the unscaled limits).
+	topo := PaperRoom().Topo
+	cfg := workload.DefaultTraceConfig(topo.ProvisionedPower())
+	cfg.TargetDemand = power.Watts(1.4 * float64(topo.ProvisionedPower()))
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, _ := NewRoom(topo, 120)
+	over.Oversubscription = 1.15
+	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
+	pl, err := pol.Place(over, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+	if float64(pl.PairLoad().Total()) <= float64(topo.ProvisionedPower()) {
+		t.Skip("trace did not exceed nameplate; cannot test downgrade")
+	}
+	pl.Room.Oversubscription = 1
+	if err := pl.Validate(); err == nil {
+		t.Fatal("placement beyond nameplate must fail at O=1")
+	}
+}
+
+func TestPairCapacityConstraint(t *testing.T) {
+	topo := PaperRoom().Topo
+	room, _ := NewRoom(topo, 60)
+	room.PairCapacity = 400 * power.KW
+	cfg := workload.DefaultTraceConfig(topo.ProvisionedPower())
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{BalancedRoundRobin{}, FlexOffline{BatchFraction: 0.5, MaxNodes: 150}} {
+		pl, err := pol.Place(room, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		// Every pair within rating.
+		pairPow := power.NewPairLoad(topo)
+		for _, d := range pl.Placed() {
+			pairPow[pl.Assignments[d.ID]] += d.TotalPower()
+		}
+		for pid, w := range pairPow {
+			if w > 400*power.KW+power.CapacityTolerance {
+				t.Fatalf("%s: pair %d at %v over 400kW rating", pol.Name(), pid, w)
+			}
+		}
+		// The rating binds: total placed cannot exceed 18 × 400kW.
+		if pl.PairLoad().Total() > 18*400*power.KW+power.CapacityTolerance {
+			t.Fatalf("%s: total %v over aggregate rating", pol.Name(), pl.PairLoad().Total())
+		}
+	}
+	// Validate catches a hand-built violation.
+	d := workload.Deployment{ID: 0, Workload: "w", Category: workload.NonRedundantCapable,
+		Racks: 40, PowerPerRack: 14.4 * power.KW, FlexPowerFraction: 0.8} // 576kW
+	bad := &Placement{Room: room, Deployments: []workload.Deployment{d},
+		Assignments: map[int]power.PDUPairID{0: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected pair-capacity violation")
+	}
+}

@@ -1,0 +1,131 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// publicCloudTrace is the §VI first-deployment demand: no software-
+// redundant workloads, only cap-able VMs plus non-cap-able clusters.
+func publicCloudTrace(t *testing.T, target power.Watts, seed int64) []workload.Deployment {
+	t.Helper()
+	cfg := workload.DefaultTraceConfig(0)
+	cfg.TargetDemand = target
+	cfg.CategoryShares = [3]float64{0, 0.69, 0.31}
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestPartialReserveRoomLimits(t *testing.T) {
+	topo := PaperRoom().Topo
+	room, err := PartialReserveRoom(topo, 60, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Limit = 2.4MW × (0.75 + 0.42×0.25) = 2.4 × 0.855 = 2.052MW.
+	want := power.Watts(0.855 * 2.4e6)
+	if got := room.NormalLimit(0); math.Abs(float64(got-want)) > 1 {
+		t.Fatalf("NormalLimit = %v, want %v", got, want)
+	}
+	if got := room.AllocatablePower(); math.Abs(float64(got-4*want)) > 1 {
+		t.Fatalf("AllocatablePower = %v, want %v", got, 4*want)
+	}
+	// Conventional room: y/x limit.
+	conv, _ := PartialReserveRoom(topo, 60, 0)
+	if got := conv.NormalLimit(0); math.Abs(float64(got-1.8e6)) > 1 {
+		t.Fatalf("conventional limit = %v, want 1.8MW", got)
+	}
+	// Full Flex room: rated capacity.
+	full, _ := PartialReserveRoom(topo, 60, 1)
+	if got := full.NormalLimit(0); got != 2.4*power.MW {
+		t.Fatalf("full limit = %v, want 2.4MW", got)
+	}
+}
+
+func TestPartialReserveRoomValidation(t *testing.T) {
+	topo := PaperRoom().Topo
+	if _, err := PartialReserveRoom(topo, 60, -0.1); err == nil {
+		t.Error("expected error for negative reserve utilization")
+	}
+	if _, err := PartialReserveRoom(topo, 60, 1.1); err == nil {
+		t.Error("expected error for >1 reserve utilization")
+	}
+}
+
+// TestPartialReserveThrottleOnly reproduces the §VI scenario: a 42%-of-
+// reserve room with a public-cloud trace (no software-redundant
+// workloads). Placement must succeed, stay within the reduced limits,
+// and — crucially — survive every UPS failure with throttling alone.
+func TestPartialReserveThrottleOnly(t *testing.T) {
+	topo := PaperRoom().Topo
+	room, err := PartialReserveRoom(topo, 60, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := publicCloudTrace(t, power.Watts(1.15*float64(room.AllocatablePower())), 3)
+	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
+	pl, err := pol.Place(room, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.StrandedFraction() > 0.10 {
+		t.Errorf("stranded %.1f%% of allocatable", pl.StrandedFraction()*100)
+	}
+	// Normal loads within the partial limit (not just capacity).
+	for u, w := range topo.UPSLoads(pl.PairLoad()) {
+		if w > room.NormalLimit(power.UPSID(u))+power.CapacityTolerance {
+			t.Fatalf("UPS %d normal load %v over partial limit", u, w)
+		}
+	}
+	// Failover with throttling alone (no shutdowns exist: no SR racks).
+	capLoad := pl.CapPairLoad()
+	for f := range topo.UPSes {
+		if !topo.FailoverWithinCapacity(capLoad, power.UPSID(f)) {
+			t.Fatalf("failure of UPS %d not covered by throttling alone", f)
+		}
+		out := topo.SimulateCascade(capLoad, power.UPSID(f), power.EndOfLifeTripCurve, time.Hour)
+		if out.Outage {
+			t.Fatalf("cascade on failure of UPS %d", f)
+		}
+	}
+	for _, d := range pl.Placed() {
+		if d.Category == workload.SoftwareRedundant {
+			t.Fatal("public-cloud trace must not contain SR deployments")
+		}
+	}
+}
+
+// TestPartialReserveGainOverConventional quantifies the §VI payoff: the
+// 42% room deploys measurably more power than a conventional room.
+func TestPartialReserveGainOverConventional(t *testing.T) {
+	topo := PaperRoom().Topo
+	partial, _ := PartialReserveRoom(topo, 60, 0.42)
+	conv, _ := PartialReserveRoom(topo, 60, 0)
+	trace := publicCloudTrace(t, 11*power.MW, 5)
+	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
+	plPartial, err := pol.Place(partial, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plConv, err := pol.Place(conv, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := float64(plPartial.PairLoad().Total())/float64(plConv.PairLoad().Total()) - 1
+	// Allocatable grows by 0.42×0.25/0.75 = 14%; placed power should
+	// track that within fragmentation noise.
+	if gain < 0.08 {
+		t.Fatalf("partial-reserve gain only %.1f%%", gain*100)
+	}
+}

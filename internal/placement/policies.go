@@ -1,0 +1,162 @@
+package placement
+
+import (
+	"math/rand"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// Random places one deployment at a time on a uniformly random feasible
+// PDU-pair (paper §V-A: "the simplest policy but also clearly naive").
+type Random struct {
+	// Seed drives pair-order shuffling; the same seed reproduces the same
+	// placement for the same trace.
+	Seed int64
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "Random" }
+
+// Place implements Policy.
+func (r Random) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	s := newState(room)
+	order := make([]power.PDUPairID, len(room.Topo.Pairs))
+	for i := range order {
+		order[i] = power.PDUPairID(i)
+	}
+	for _, d := range trace {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, pid := range order {
+			if s.canPlace(d, pid) {
+				s.place(d, pid)
+				break
+			}
+		}
+	}
+	return s.result(trace), nil
+}
+
+// RoundRobin cycles through PDU-pairs with a single shared pointer,
+// ignoring workload categories. The paper notes it is strictly worse for
+// Flex than Balanced Round-Robin; it is provided as an ablation baseline.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "RoundRobin" }
+
+// Place implements Policy.
+func (RoundRobin) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+	s := newState(room)
+	n := len(room.Topo.Pairs)
+	next := 0
+	for _, d := range trace {
+		for off := 0; off < n; off++ {
+			pid := power.PDUPairID((next + off) % n)
+			if s.canPlace(d, pid) {
+				s.place(d, pid)
+				next = (int(pid) + 1) % n
+				break
+			}
+		}
+	}
+	return s.result(trace), nil
+}
+
+// BalancedRoundRobin spreads each workload category's power evenly across
+// the PDU-pairs: a deployment goes to the feasible pair currently carrying
+// the least power of the deployment's category, with round-robin
+// tie-breaking. This realizes the paper's stated goal ("roughly balance
+// the demand from each category under each UPS", §V-A) and is simple
+// enough to hand to datacenter administrators as guidelines.
+type BalancedRoundRobin struct{}
+
+// Name implements Policy.
+func (BalancedRoundRobin) Name() string { return "BalancedRoundRobin" }
+
+// Place implements Policy.
+func (BalancedRoundRobin) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+	s := newState(room)
+	order := interleavedPairOrder(room.Topo)
+	n := len(order)
+	catLoad := make(map[workload.Category][]power.Watts)
+	for _, c := range workload.Categories {
+		catLoad[c] = make([]power.Watts, len(room.Topo.Pairs))
+	}
+	next := map[workload.Category]int{}
+	for _, d := range trace {
+		loads := catLoad[d.Category]
+		start := next[d.Category]
+		best, bestIdx := power.PDUPairID(-1), -1
+		for off := 0; off < n; off++ {
+			idx := (start + off) % n
+			pid := order[idx]
+			if !s.canPlace(d, pid) {
+				continue
+			}
+			if best < 0 || loads[pid] < loads[best] {
+				best, bestIdx = pid, idx
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		s.place(d, best)
+		loads[best] += d.TotalPower()
+		next[d.Category] = (bestIdx + 1) % n
+	}
+	return s.result(trace), nil
+}
+
+// interleavedPairOrder returns the PDU-pairs ordered so that consecutive
+// entries cycle across UPS combinations (12, 13, 14, 23, 24, 34, 12, ...)
+// rather than exhausting one combination at a time. Rotating in this order
+// keeps every UPS's load balanced from the very first rotation, which is
+// what makes Balanced Round-Robin effective.
+func interleavedPairOrder(topo *power.Topology) []power.PDUPairID {
+	byCombo := map[[2]power.UPSID][]power.PDUPairID{}
+	var comboOrder [][2]power.UPSID
+	for _, p := range topo.Pairs {
+		if _, ok := byCombo[p.UPSes]; !ok {
+			comboOrder = append(comboOrder, p.UPSes)
+		}
+		byCombo[p.UPSes] = append(byCombo[p.UPSes], p.ID)
+	}
+	var out []power.PDUPairID
+	for k := 0; ; k++ {
+		added := false
+		for _, key := range comboOrder {
+			if k < len(byCombo[key]) {
+				out = append(out, byCombo[key][k])
+				added = true
+			}
+		}
+		if !added {
+			return out
+		}
+	}
+}
+
+// FirstFit always picks the lowest-numbered feasible PDU-pair. The paper
+// deliberately excludes it from the evaluation because it concentrates
+// load instead of spreading it; it is implemented here as an ablation
+// baseline demonstrating that behaviour.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "FirstFit" }
+
+// Place implements Policy.
+func (FirstFit) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+	s := newState(room)
+	for _, d := range trace {
+		for pid := range room.Topo.Pairs {
+			if s.canPlace(d, power.PDUPairID(pid)) {
+				s.place(d, power.PDUPairID(pid))
+				break
+			}
+		}
+	}
+	return s.result(trace), nil
+}

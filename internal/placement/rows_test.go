@@ -1,0 +1,128 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// rowRoom is the emulation room with explicit rows: 6 rows × 10 racks per
+// PDU-pair (36 rows total — the paper's §V-C layout).
+func rowRoom(t *testing.T) *Room {
+	t.Helper()
+	room := EmulationRoom()
+	room.RowsPerPair = 6
+	room.RowSlots = 10
+	return room
+}
+
+func TestRowStateFitContiguity(t *testing.T) {
+	room := rowRoom(t)
+	rs, err := newRowState(room)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 racks = two full rows.
+	take := rs.fit(0, 20)
+	if len(take) != 2 || take[0].slots != 10 || take[1].slots != 10 {
+		t.Fatalf("fit(20) = %+v", take)
+	}
+	if take[1].row != take[0].row+1 {
+		t.Fatalf("rows not contiguous: %+v", take)
+	}
+	rs.place(1, take)
+	// 5 racks fits a fresh row.
+	take5 := rs.fit(0, 5)
+	if len(take5) != 1 || take5[0].slots != 5 {
+		t.Fatalf("fit(5) = %+v", take5)
+	}
+	rs.place(2, take5)
+	// Another 20 may start in the half-used row 2 (5 free) and continue
+	// through empty rows 3 and 4 — runs start anywhere but continuation
+	// rows must be empty.
+	take20 := rs.fit(0, 20)
+	if len(take20) != 3 || take20[0].row != 2 || take20[0].slots != 5 {
+		t.Fatalf("fit(20) after fragmentation = %+v", take20)
+	}
+	for i := 1; i < len(take20); i++ {
+		if take20[i].row != take20[i-1].row+1 {
+			t.Fatalf("rows not contiguous: %+v", take20)
+		}
+	}
+	rs.place(3, take20)
+	// Remaining free: 5 slots at the tail of row 4 and empty row 5 = 15,
+	// not enough for another 20; fit must fail.
+	if got := rs.fit(0, 20); got != nil {
+		t.Fatalf("fit(20) should fail with fragmented rows, got %+v", got)
+	}
+	// Removal returns space: drop the first 20-rack deployment and retry.
+	rs.remove(1)
+	if got := rs.fit(0, 20); got == nil {
+		t.Fatal("fit(20) should succeed after removal")
+	}
+}
+
+func TestRowConfigValidation(t *testing.T) {
+	room := rowRoom(t)
+	room.RowSlots = 7 // 6×7 ≠ 60
+	if _, err := newRowState(room); err == nil {
+		t.Fatal("expected row config error")
+	}
+	room.RowSlots = 0
+	if _, err := newRowState(room); err == nil {
+		t.Fatal("expected RowSlots error")
+	}
+	room.RowsPerPair = 0
+	rs, err := newRowState(room)
+	if err != nil || rs != nil {
+		t.Fatal("rows disabled should return nil, nil")
+	}
+}
+
+func TestRowAwarePlacementSafety(t *testing.T) {
+	room := rowRoom(t)
+	cfg := workload.DefaultTraceConfig(room.Topo.ProvisionedPower())
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{BalancedRoundRobin{}, FlexOffline{BatchFraction: 0.5, MaxNodes: 150}} {
+		pl, err := pol.Place(room, trace)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if len(pl.Placed()) == 0 {
+			t.Fatalf("%s: nothing placed", pol.Name())
+		}
+	}
+}
+
+func TestRowFragmentationReducesCapacity(t *testing.T) {
+	// Row granularity can only reduce (never increase) what fits: the
+	// same trace placed with and without rows.
+	cfg := workload.DefaultTraceConfig(4.8 * power.MW)
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := EmulationRoom()
+	rows := rowRoom(t)
+	pol := BalancedRoundRobin{}
+	plFlat, err := pol.Place(flat, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plRows, err := pol.Place(rows, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plRows.PairLoad().Total() > plFlat.PairLoad().Total()+power.CapacityTolerance {
+		t.Fatalf("row-constrained placement (%v) exceeds flat placement (%v)",
+			plRows.PairLoad().Total(), plFlat.PairLoad().Total())
+	}
+}

@@ -1,0 +1,100 @@
+package placement
+
+import (
+	"fmt"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// Site is an ordered set of rooms sharing one demand stream. Deployments a
+// room rejects are routed to the next room (paper §V-A: "The undeployable
+// requests can be routed to other rooms for placement"); a datacenter is
+// several isolated rooms and a campus is several datacenters, so the same
+// mechanism models both.
+type Site struct {
+	Name  string
+	Rooms []*Room
+}
+
+// SitePlacement is the outcome of placing one trace across a site.
+type SitePlacement struct {
+	Site *Site
+	// Placements holds one placement per room, aligned with Site.Rooms.
+	Placements []*Placement
+	// Unplaced lists deployments no room could take.
+	Unplaced []workload.Deployment
+}
+
+// Place routes the trace through the site's rooms in order with the given
+// policy. Each room sees only the deployments every earlier room rejected.
+func (s *Site) Place(policy Policy, trace []workload.Deployment) (*SitePlacement, error) {
+	if len(s.Rooms) == 0 {
+		return nil, fmt.Errorf("placement: site %q has no rooms", s.Name)
+	}
+	out := &SitePlacement{Site: s}
+	remaining := trace
+	for _, room := range s.Rooms {
+		pl, err := policy.Place(room, remaining)
+		if err != nil {
+			return nil, err
+		}
+		out.Placements = append(out.Placements, pl)
+		remaining = pl.Unplaced()
+	}
+	out.Unplaced = remaining
+	return out, nil
+}
+
+// Validate re-checks every room's placement.
+func (sp *SitePlacement) Validate() error {
+	for i, pl := range sp.Placements {
+		if err := pl.Validate(); err != nil {
+			return fmt.Errorf("room %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PlacedPower is the total power placed across all rooms.
+func (sp *SitePlacement) PlacedPower() power.Watts {
+	var sum power.Watts
+	for _, pl := range sp.Placements {
+		sum += pl.PairLoad().Total()
+	}
+	return sum
+}
+
+// AllocatablePower is the site's total allocatable power.
+func (sp *SitePlacement) AllocatablePower() power.Watts {
+	var sum power.Watts
+	for _, pl := range sp.Placements {
+		sum += pl.Room.AllocatablePower()
+	}
+	return sum
+}
+
+// StrandedFraction is the site-wide stranded power fraction.
+func (sp *SitePlacement) StrandedFraction() float64 {
+	alloc := sp.AllocatablePower()
+	if alloc <= 0 {
+		return 0
+	}
+	stranded := alloc - sp.PlacedPower()
+	if stranded < 0 {
+		stranded = 0
+	}
+	return float64(stranded) / float64(alloc)
+}
+
+// NewUniformSite builds a site of n identical paper rooms.
+func NewUniformSite(name string, n int) (*Site, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("placement: site needs at least one room")
+	}
+	s := &Site{Name: name}
+	for i := 0; i < n; i++ {
+		s.Rooms = append(s.Rooms, PaperRoom())
+	}
+	return s, nil
+}

@@ -1,0 +1,82 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+func TestSiteRoutesRejectedDeployments(t *testing.T) {
+	site, err := NewUniformSite("site-1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand worth ~1.5 rooms: room 1 overflows into room 2.
+	cfg := workload.DefaultTraceConfig(0)
+	cfg.TargetDemand = power.Watts(1.5 * 9.6e6)
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := site.Place(FlexOffline{BatchFraction: 0.5, MaxNodes: 150}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Placements) != 2 {
+		t.Fatalf("placements = %d", len(sp.Placements))
+	}
+	if len(sp.Placements[1].Placed()) == 0 {
+		t.Fatal("overflow never reached room 2")
+	}
+	// Nothing placed twice: room-2 deployments are exactly room-1 rejects.
+	placed1 := map[int]bool{}
+	for _, d := range sp.Placements[0].Placed() {
+		placed1[d.ID] = true
+	}
+	for _, d := range sp.Placements[1].Placed() {
+		if placed1[d.ID] {
+			t.Fatalf("deployment %d placed in both rooms", d.ID)
+		}
+	}
+	// Site-wide accounting.
+	if sp.PlacedPower() <= sp.Placements[0].PairLoad().Total() {
+		t.Fatal("site power must include room 2")
+	}
+	if f := sp.StrandedFraction(); f < 0 || f > 1 {
+		t.Fatalf("stranded fraction %v", f)
+	}
+	// With demand at 75% of site capacity, everything should place.
+	if len(sp.Unplaced) > 0 {
+		t.Fatalf("unplaced with ample site capacity: %d", len(sp.Unplaced))
+	}
+}
+
+func TestSiteValidation(t *testing.T) {
+	if _, err := (&Site{}).Place(FirstFit{}, nil); err == nil {
+		t.Error("expected error for empty site")
+	}
+	if _, err := NewUniformSite("x", 0); err == nil {
+		t.Error("expected error for zero rooms")
+	}
+}
+
+func TestSiteOverflowBeyondCapacity(t *testing.T) {
+	site, _ := NewUniformSite("site-1", 1)
+	cfg := workload.DefaultTraceConfig(9.6 * power.MW) // 115% of one room
+	trace, err := workload.GenerateTrace(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := site.Place(BalancedRoundRobin{}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Unplaced) == 0 {
+		t.Fatal("115% demand into one room must leave rejects")
+	}
+}

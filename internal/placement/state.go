@@ -1,0 +1,262 @@
+package placement
+
+import (
+	"flex/internal/power"
+	"flex/internal/workload"
+)
+
+// state tracks the incremental feasibility bookkeeping shared by every
+// policy: free slots per pair, normal-operation load per UPS, and the
+// post-shave failover load (Eq. 4 left-hand side) for every (failed UPS,
+// surviving UPS) combination. Policies only place through state, so every
+// produced placement is safe by construction.
+type state struct {
+	room      *Room
+	rows      *rowState // nil unless row modelling is enabled
+	slotsLeft []int
+	pairPow   []power.Watts   // allocated power per PDU-pair
+	normal    []power.Watts   // per-UPS normal-operation allocated load
+	failCap   [][]power.Watts // [failed][survivor] post-shave failover load
+	// throttleRec is the [failed][survivor] failover-weighted power
+	// recoverable by throttling alone (cap-able deployments only); used by
+	// Flex-Offline's balance term and the imbalance metric.
+	throttleRec  [][]power.Watts
+	placedPow    power.Watts
+	placedCapPow power.Watts // cumulative post-shave (CapPow) allocation
+	placed       map[int]power.PDUPairID
+	deps         map[int]workload.Deployment // placed deployments by ID
+}
+
+func newState(room *Room) *state {
+	n := len(room.Topo.UPSes)
+	rows, err := newRowState(room)
+	if err != nil {
+		// Room misconfiguration is a programming error at this level;
+		// Policy implementations surface it before building state.
+		panic(err)
+	}
+	s := &state{
+		room:        room,
+		rows:        rows,
+		slotsLeft:   append([]int(nil), room.SlotsPerPair...),
+		pairPow:     make([]power.Watts, len(room.Topo.Pairs)),
+		normal:      make([]power.Watts, n),
+		failCap:     make([][]power.Watts, n),
+		throttleRec: make([][]power.Watts, n),
+		placed:      make(map[int]power.PDUPairID),
+		deps:        make(map[int]workload.Deployment),
+	}
+	for f := range s.failCap {
+		s.failCap[f] = make([]power.Watts, n)
+		s.throttleRec[f] = make([]power.Watts, n)
+	}
+	return s
+}
+
+// failoverWeight is the Eq. 4 weighting of a deployment on pair (a,b)
+// towards survivor u when f fails: 0 if u is not on the pair, 1 if the
+// pair also touches f (the survivor takes the whole load), 0.5 otherwise.
+func failoverWeight(a, b, u, f power.UPSID) float64 {
+	if u != a && u != b {
+		return 0
+	}
+	if f == a || f == b {
+		return 1
+	}
+	return 0.5
+}
+
+// canPlace reports whether deployment d fits on pair pid without violating
+// space, cooling, normal-capacity, or any-failure safety constraints.
+func (s *state) canPlace(d workload.Deployment, pid power.PDUPairID) bool {
+	if s.slotsLeft[pid] < d.Racks {
+		return false
+	}
+	if s.rows != nil && s.rows.fit(pid, d.Racks) == nil {
+		return false
+	}
+	if s.room.PairCapacity > 0 &&
+		s.pairPow[pid]+d.TotalPower() > s.room.PairCapacity+power.CapacityTolerance {
+		return false
+	}
+	if s.room.CoolingCFM > 0 {
+		if float64(s.placedPow+d.TotalPower())*s.room.CFMPerWatt > s.room.CoolingCFM+1e-6 {
+			return false
+		}
+	}
+	topo := s.room.Topo
+	pair := topo.Pairs[pid]
+	a, b := pair.UPSes[0], pair.UPSes[1]
+	half := d.TotalPower() / 2
+	if s.normal[a]+half > s.room.NormalLimit(a)+power.CapacityTolerance ||
+		s.normal[b]+half > s.room.NormalLimit(b)+power.CapacityTolerance {
+		return false
+	}
+	capPow := float64(d.CapPower()) / s.room.oversub()
+	for f := range topo.UPSes {
+		ff := power.UPSID(f)
+		for _, u := range [2]power.UPSID{a, b} {
+			if u == ff {
+				continue
+			}
+			w := failoverWeight(a, b, u, ff)
+			if s.failCap[f][u]+power.Watts(w*capPow) > topo.UPSes[u].Capacity+power.CapacityTolerance {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// place commits deployment d to pair pid. Callers must have verified
+// canPlace.
+func (s *state) place(d workload.Deployment, pid power.PDUPairID) {
+	pair := s.room.Topo.Pairs[pid]
+	a, b := pair.UPSes[0], pair.UPSes[1]
+	s.slotsLeft[pid] -= d.Racks
+	if s.rows != nil {
+		take := s.rows.fit(pid, d.Racks)
+		if take == nil {
+			panic("placement: place without canPlace (row fit)")
+		}
+		s.rows.place(d.ID, take)
+	}
+	s.pairPow[pid] += d.TotalPower()
+	half := d.TotalPower() / 2
+	s.normal[a] += half
+	s.normal[b] += half
+	capPow := float64(d.CapPower()) / s.room.oversub()
+	throttle := float64(d.ThrottleRecoverablePower()) / s.room.oversub()
+	for f := range s.room.Topo.UPSes {
+		ff := power.UPSID(f)
+		for _, u := range [2]power.UPSID{a, b} {
+			if u == ff {
+				continue
+			}
+			w := failoverWeight(a, b, u, ff)
+			s.failCap[f][u] += power.Watts(w * capPow)
+			s.throttleRec[f][u] += power.Watts(w * throttle)
+		}
+	}
+	s.placedPow += d.TotalPower()
+	s.placedCapPow += power.Watts(float64(d.CapPower()) / s.room.oversub())
+	s.placed[d.ID] = pid
+	s.deps[d.ID] = d
+}
+
+// remove reverses place, freeing d's slots and load contributions. The
+// returned token restores the exact row allocation via restoreAt (nil
+// when rows are disabled).
+func (s *state) remove(d workload.Deployment, pid power.PDUPairID) []rowUse {
+	pair := s.room.Topo.Pairs[pid]
+	a, b := pair.UPSes[0], pair.UPSes[1]
+	s.slotsLeft[pid] += d.Racks
+	var token []rowUse
+	if s.rows != nil {
+		token = s.rows.remove(d.ID)
+	}
+	s.pairPow[pid] -= d.TotalPower()
+	half := d.TotalPower() / 2
+	s.normal[a] -= half
+	s.normal[b] -= half
+	capPow := float64(d.CapPower()) / s.room.oversub()
+	throttle := float64(d.ThrottleRecoverablePower()) / s.room.oversub()
+	for f := range s.room.Topo.UPSes {
+		ff := power.UPSID(f)
+		for _, u := range [2]power.UPSID{a, b} {
+			if u == ff {
+				continue
+			}
+			w := failoverWeight(a, b, u, ff)
+			s.failCap[f][u] -= power.Watts(w * capPow)
+			s.throttleRec[f][u] -= power.Watts(w * throttle)
+		}
+	}
+	s.placedPow -= d.TotalPower()
+	s.placedCapPow -= power.Watts(float64(d.CapPower()) / s.room.oversub())
+	delete(s.placed, d.ID)
+	delete(s.deps, d.ID)
+	return token
+}
+
+// restoreAt undoes a remove exactly: it re-places d on pid reusing the
+// remove token's row allocation. It bypasses canPlace — the caller is
+// returning the state to a configuration that was valid moments ago.
+func (s *state) restoreAt(d workload.Deployment, pid power.PDUPairID, token []rowUse) {
+	pair := s.room.Topo.Pairs[pid]
+	a, b := pair.UPSes[0], pair.UPSes[1]
+	s.slotsLeft[pid] -= d.Racks
+	if s.rows != nil {
+		s.rows.restore(d.ID, token)
+	}
+	s.pairPow[pid] += d.TotalPower()
+	half := d.TotalPower() / 2
+	s.normal[a] += half
+	s.normal[b] += half
+	capPow := float64(d.CapPower()) / s.room.oversub()
+	throttle := float64(d.ThrottleRecoverablePower()) / s.room.oversub()
+	for f := range s.room.Topo.UPSes {
+		ff := power.UPSID(f)
+		for _, u := range [2]power.UPSID{a, b} {
+			if u == ff {
+				continue
+			}
+			w := failoverWeight(a, b, u, ff)
+			s.failCap[f][u] += power.Watts(w * capPow)
+			s.throttleRec[f][u] += power.Watts(w * throttle)
+		}
+	}
+	s.placedPow += d.TotalPower()
+	s.placedCapPow += power.Watts(float64(d.CapPower()) / s.room.oversub())
+	s.placed[d.ID] = pid
+	s.deps[d.ID] = d
+}
+
+// deploymentsByID exposes the placed deployments for refinement passes.
+func (s *state) deploymentsByID() map[int]workload.Deployment { return s.deps }
+
+// imbalance computes the throttling-imbalance metric from the incremental
+// bookkeeping: for every (failed, survivor) UPS combination, the fraction
+// of the survivor's capacity that throttling must recover in the worst
+// case (non-SR failover load minus capacity), spread max minus min.
+func (s *state) imbalance() float64 {
+	topo := s.room.Topo
+	first := true
+	var maxR, minR float64
+	for f := range topo.UPSes {
+		for u := range topo.UPSes {
+			if u == f {
+				continue
+			}
+			cap := float64(topo.UPSes[u].Capacity)
+			need := float64(s.failCap[f][u]+s.throttleRec[f][u]) - cap
+			if need < 0 {
+				need = 0
+			}
+			r := need / cap
+			if first {
+				maxR, minR, first = r, r, false
+			} else {
+				if r > maxR {
+					maxR = r
+				}
+				if r < minR {
+					minR = r
+				}
+			}
+		}
+	}
+	if first {
+		return 0
+	}
+	return maxR - minR
+}
+
+// result materializes the placement.
+func (s *state) result(trace []workload.Deployment) *Placement {
+	return &Placement{
+		Room:        s.room,
+		Deployments: trace,
+		Assignments: s.placed,
+	}
+}

@@ -1,0 +1,138 @@
+package power
+
+// PairLoad is the power drawn (or allocated) on each PDU-pair, indexed by
+// PDUPairID. A PairLoad with fewer entries than the topology has pairs
+// treats the missing pairs as unloaded.
+type PairLoad []Watts
+
+// NewPairLoad returns a zero PairLoad sized for topology t.
+func NewPairLoad(t *Topology) PairLoad { return make(PairLoad, len(t.Pairs)) }
+
+// Total returns the sum of all pair loads.
+func (l PairLoad) Total() Watts {
+	var sum Watts
+	for _, w := range l {
+		sum += w
+	}
+	return sum
+}
+
+// Clone returns a copy of l.
+func (l PairLoad) Clone() PairLoad {
+	c := make(PairLoad, len(l))
+	copy(c, l)
+	return c
+}
+
+// CapacityTolerance is the slack allowed when checking loads against
+// rated capacities. Loads are MW-scale; rounding noise from the placement
+// ILP (which works in MW) is far below this.
+const CapacityTolerance Watts = 2
+
+// at returns the load on pair p, treating out-of-range as zero.
+func (l PairLoad) at(p PDUPairID) Watts {
+	if int(p) >= len(l) {
+		return 0
+	}
+	return l[p]
+}
+
+// UPSLoads computes the normal-operation load on every UPS (paper Eq. 2):
+// each UPS carries half of every PDU-pair it feeds.
+func (t *Topology) UPSLoads(load PairLoad) []Watts {
+	out := make([]Watts, len(t.UPSes))
+	for _, p := range t.Pairs {
+		half := load.at(p.ID) / 2
+		out[p.UPSes[0]] += half
+		out[p.UPSes[1]] += half
+	}
+	return out
+}
+
+// FailoverLoads computes the load on every UPS immediately after UPS
+// `failed` goes out of service (paper Eq. 4's left-hand side, before any
+// corrective action): pairs fed by the failed UPS transfer their full load
+// to the surviving partner, other pairs are unchanged. The failed UPS's
+// entry is 0.
+func (t *Topology) FailoverLoads(load PairLoad, failed UPSID) []Watts {
+	out := make([]Watts, len(t.UPSes))
+	for _, p := range t.Pairs {
+		w := load.at(p.ID)
+		a, b := p.UPSes[0], p.UPSes[1]
+		switch failed {
+		case a:
+			out[b] += w
+		case b:
+			out[a] += w
+		default:
+			out[a] += w / 2
+			out[b] += w / 2
+		}
+	}
+	out[failed] = 0
+	return out
+}
+
+// Overdrawn returns the UPSes whose load exceeds their rated capacity by
+// more than slack (use slack 0 for a strict check).
+func (t *Topology) Overdrawn(loads []Watts, slack Watts) []UPSID {
+	var over []UPSID
+	for i, u := range t.UPSes {
+		if loads[i] > u.Capacity+slack {
+			over = append(over, UPSID(i))
+		}
+	}
+	return over
+}
+
+// Headroom returns, for every UPS, capacity minus load (negative when
+// overdrawn).
+func (t *Topology) Headroom(loads []Watts) []Watts {
+	out := make([]Watts, len(t.UPSes))
+	for i, u := range t.UPSes {
+		out[i] = u.Capacity - loads[i]
+	}
+	return out
+}
+
+// NormalWithinConventionalLimits reports whether the normal-operation UPS
+// loads respect the conventional per-UPS allocation limit (capacity × y/x).
+// A conventional datacenter enforces this; a Flex datacenter instead allows
+// loads up to full capacity during normal operation.
+func (t *Topology) NormalWithinConventionalLimits(load PairLoad) bool {
+	for u, w := range t.UPSLoads(load) {
+		if w > t.AllocationLimit(UPSID(u))+CapacityTolerance {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalWithinCapacity reports whether normal-operation UPS loads are
+// within rated capacity — the Flex normal-operation constraint (Eq. 2 with
+// the full capacity on the right-hand side).
+func (t *Topology) NormalWithinCapacity(load PairLoad) bool {
+	for u, w := range t.UPSLoads(load) {
+		if w > t.UPSes[u].Capacity+CapacityTolerance {
+			return false
+		}
+	}
+	return true
+}
+
+// FailoverWithinCapacity reports whether, for the failure of UPS f, the
+// post-shave loads given by shavedLoad keep every surviving UPS within
+// rated capacity (paper Eq. 4). Callers pass the pair loads after applying
+// CapPow to each deployment.
+func (t *Topology) FailoverWithinCapacity(shavedLoad PairLoad, f UPSID) bool {
+	loads := t.FailoverLoads(shavedLoad, f)
+	for u := range t.UPSes {
+		if UPSID(u) == f {
+			continue
+		}
+		if loads[u] > t.UPSes[u].Capacity+CapacityTolerance {
+			return false
+		}
+	}
+	return true
+}

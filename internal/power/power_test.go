@@ -1,0 +1,364 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRedundancyValidate(t *testing.T) {
+	cases := []struct {
+		r  Redundancy
+		ok bool
+	}{
+		{Redundancy{4, 3}, true},
+		{Redundancy{2, 1}, true},
+		{Redundancy{5, 4}, true},
+		{Redundancy{3, 3}, false},
+		{Redundancy{3, 4}, false},
+		{Redundancy{1, 0}, false},
+		{Redundancy{0, 0}, false},
+	}
+	for _, c := range cases {
+		err := c.r.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", c.r, err, c.ok)
+		}
+	}
+}
+
+func TestRedundancyFractions4N3(t *testing.T) {
+	r := Redundancy{X: 4, Y: 3}
+	if got := r.AllocationLimitFraction(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AllocationLimitFraction = %v, want 0.75", got)
+	}
+	if got := r.ReservedFraction(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("ReservedFraction = %v, want 0.25", got)
+	}
+	// The paper's headline: 33% more servers for 4N/3.
+	if got := r.ExtraServersFraction(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("ExtraServersFraction = %v, want 1/3", got)
+	}
+	// Worst-case failover load is 133% of UPS rating.
+	if got := r.WorstCaseFailoverFraction(); math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Errorf("WorstCaseFailoverFraction = %v, want 4/3", got)
+	}
+}
+
+func TestRedundancyString(t *testing.T) {
+	if s := (Redundancy{4, 3}).String(); s != "4N/3" {
+		t.Errorf("String = %q, want 4N/3", s)
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	cases := []struct {
+		w    Watts
+		want string
+	}{
+		{500, "500W"},
+		{14.4 * KW, "14.4kW"},
+		{1.2 * MW, "1.20MW"},
+		{9.6 * MW, "9.60MW"},
+	}
+	for _, c := range cases {
+		if got := c.w.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.w), got, c.want)
+		}
+	}
+}
+
+// fourN3Room builds the paper's standard 9.6MW 4N/3 room: 4 × 2.4MW UPSes.
+func fourN3Room(t *testing.T, pairsPerCombo int) *Topology {
+	t.Helper()
+	topo, err := NewRoom(RoomConfig{
+		Design:              Redundancy{X: 4, Y: 3},
+		UPSCapacity:         2.4 * MW,
+		PairsPerCombination: pairsPerCombo,
+	})
+	if err != nil {
+		t.Fatalf("NewRoom: %v", err)
+	}
+	return topo
+}
+
+func TestNewRoom4N3Shape(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	if len(topo.UPSes) != 4 {
+		t.Fatalf("UPSes = %d, want 4", len(topo.UPSes))
+	}
+	if len(topo.Pairs) != 6 { // C(4,2)
+		t.Fatalf("Pairs = %d, want 6", len(topo.Pairs))
+	}
+	if got := topo.ProvisionedPower(); got != 9.6*MW {
+		t.Fatalf("ProvisionedPower = %v, want 9.6MW", got)
+	}
+	if got := topo.ConventionalAllocatablePower(); got != 7.2*MW {
+		t.Fatalf("ConventionalAllocatablePower = %v, want 7.2MW", got)
+	}
+	// Every UPS feeds exactly x-1 = 3 pairs.
+	for u := range topo.UPSes {
+		if got := len(topo.PairsOn(UPSID(u))); got != 3 {
+			t.Errorf("UPS %d feeds %d pairs, want 3", u, got)
+		}
+	}
+	if got := topo.AllocationLimit(0); got != 1.8*MW {
+		t.Errorf("AllocationLimit = %v, want 1.8MW", got)
+	}
+}
+
+func TestNewRoomValidation(t *testing.T) {
+	if _, err := NewRoom(RoomConfig{Design: Redundancy{3, 3}, UPSCapacity: MW, PairsPerCombination: 1}); err == nil {
+		t.Error("expected error for invalid design")
+	}
+	if _, err := NewRoom(RoomConfig{Design: Redundancy{4, 3}, UPSCapacity: 0, PairsPerCombination: 1}); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	if _, err := NewRoom(RoomConfig{Design: Redundancy{4, 3}, UPSCapacity: MW, PairsPerCombination: 0}); err == nil {
+		t.Error("expected error for zero pairs per combination")
+	}
+}
+
+func TestNewCustomTopologyValidation(t *testing.T) {
+	ups := []UPS{{ID: 0, Name: "a", Capacity: MW}, {ID: 1, Name: "b", Capacity: MW}}
+	if _, err := NewCustomTopology(Redundancy{2, 1}, ups,
+		[]PDUPair{{ID: 0, UPSes: [2]UPSID{0, 0}}}); err == nil {
+		t.Error("expected error for self-pair")
+	}
+	if _, err := NewCustomTopology(Redundancy{2, 1}, ups,
+		[]PDUPair{{ID: 0, UPSes: [2]UPSID{0, 5}}}); err == nil {
+		t.Error("expected error for unknown UPS")
+	}
+	if _, err := NewCustomTopology(Redundancy{2, 1}, ups[:1], nil); err == nil {
+		t.Error("expected error for wrong UPS count")
+	}
+	if _, err := NewCustomTopology(Redundancy{2, 1}, ups,
+		[]PDUPair{{ID: 7, UPSes: [2]UPSID{0, 1}}}); err == nil {
+		t.Error("expected error for non-dense pair IDs")
+	}
+	ok := []PDUPair{{ID: 0, UPSes: [2]UPSID{0, 1}}}
+	if _, err := NewCustomTopology(Redundancy{2, 1}, ups, ok); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+}
+
+func TestPartnerUPS(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	p := topo.Pairs[0] // UPSes {0,1}
+	if got := topo.PartnerUPS(p.ID, p.UPSes[0]); got != p.UPSes[1] {
+		t.Errorf("PartnerUPS = %d, want %d", got, p.UPSes[1])
+	}
+	if got := topo.PartnerUPS(p.ID, p.UPSes[1]); got != p.UPSes[0] {
+		t.Errorf("PartnerUPS = %d, want %d", got, p.UPSes[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-feeding UPS")
+		}
+	}()
+	topo.PartnerUPS(p.ID, 3) // pair 0 is {0,1}; UPS 3 does not feed it
+}
+
+func TestUPSLoadsUniform(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	// Load every pair with 1MW: each UPS feeds 3 pairs at half each = 1.5MW.
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = MW
+	}
+	for u, w := range topo.UPSLoads(load) {
+		if math.Abs(float64(w-1.5*MW)) > 1 {
+			t.Errorf("UPS %d load = %v, want 1.5MW", u, w)
+		}
+	}
+}
+
+func TestFailoverLoadsTransfer(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = MW
+	}
+	loads := topo.FailoverLoads(load, 0)
+	if loads[0] != 0 {
+		t.Fatalf("failed UPS load = %v, want 0", loads[0])
+	}
+	// Each survivor previously had 1.5MW; it gains the other half (0.5MW)
+	// of the single pair it shared with UPS 0 → 2.0MW.
+	for u := 1; u < 4; u++ {
+		if math.Abs(float64(loads[u]-2.0*MW)) > 1 {
+			t.Errorf("survivor %d load = %v, want 2.0MW", u, loads[u])
+		}
+	}
+	// Conservation: total survivor load equals total pair load.
+	var sum Watts
+	for _, w := range loads {
+		sum += w
+	}
+	if math.Abs(float64(sum-load.Total())) > 1 {
+		t.Errorf("failover total = %v, want %v", sum, load.Total())
+	}
+}
+
+// Property: load is conserved under failover for arbitrary loads, and the
+// worst-survivor fraction at full allocation approaches x/(x-1).
+func TestFailoverConservationProperty(t *testing.T) {
+	topo := fourN3Room(t, 2)
+	f := func(raw []uint16, failedRaw uint8) bool {
+		load := NewPairLoad(topo)
+		for i := range load {
+			if i < len(raw) {
+				load[i] = Watts(raw[i]) * KW
+			}
+		}
+		failed := UPSID(int(failedRaw) % len(topo.UPSes))
+		loads := topo.FailoverLoads(load, failed)
+		var sum Watts
+		for _, w := range loads {
+			sum += w
+		}
+		return math.Abs(float64(sum-load.Total())) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstSurvivorLoadFractionAtFullAllocation(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	// Allocate 100% of provisioned power uniformly: 9.6MW over 6 pairs.
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = 9.6 * MW / 6
+	}
+	got := topo.WorstSurvivorLoadFraction(load)
+	if math.Abs(got-4.0/3.0) > 1e-9 {
+		t.Fatalf("worst survivor fraction = %v, want 4/3", got)
+	}
+}
+
+func TestOverdrawnAndHeadroom(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	loads := []Watts{2.5 * MW, 2.4 * MW, 1 * MW, 2.41 * MW}
+	over := topo.Overdrawn(loads, 0)
+	if len(over) != 2 || over[0] != 0 || over[1] != 3 {
+		t.Fatalf("Overdrawn = %v, want [0 3]", over)
+	}
+	// With 200kW slack only UPS 0 is overdrawn.
+	over = topo.Overdrawn(loads, 200*KW)
+	if len(over) != 0 {
+		t.Fatalf("Overdrawn with slack = %v, want none", over)
+	}
+	hr := topo.Headroom(loads)
+	if hr[2] != 1.4*MW {
+		t.Fatalf("Headroom[2] = %v, want 1.4MW", hr[2])
+	}
+	if hr[0] >= 0 {
+		t.Fatalf("Headroom[0] = %v, want negative", hr[0])
+	}
+}
+
+func TestNormalLimitChecks(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	load := NewPairLoad(topo)
+	// 7.2MW allocated uniformly = conventional limit exactly.
+	for i := range load {
+		load[i] = 7.2 * MW / 6
+	}
+	if !topo.NormalWithinConventionalLimits(load) {
+		t.Error("7.2MW uniform should satisfy conventional limits")
+	}
+	if !topo.NormalWithinCapacity(load) {
+		t.Error("7.2MW uniform should satisfy capacity")
+	}
+	// 9.6MW uniform exceeds conventional limits but not capacity (Flex).
+	for i := range load {
+		load[i] = 9.6 * MW / 6
+	}
+	if topo.NormalWithinConventionalLimits(load) {
+		t.Error("9.6MW uniform should violate conventional limits")
+	}
+	if !topo.NormalWithinCapacity(load) {
+		t.Error("9.6MW uniform should satisfy Flex capacity constraint")
+	}
+}
+
+func TestFailoverWithinCapacity(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = 7.2 * MW / 6 // conventional allocation survives failover
+	}
+	for f := 0; f < 4; f++ {
+		if !topo.FailoverWithinCapacity(load, UPSID(f)) {
+			t.Errorf("conventional allocation should survive failure of UPS %d", f)
+		}
+	}
+	for i := range load {
+		load[i] = 9.6 * MW / 6 // full allocation does not (before shaving)
+	}
+	for f := 0; f < 4; f++ {
+		if topo.FailoverWithinCapacity(load, UPSID(f)) {
+			t.Errorf("full allocation should overdraw on failure of UPS %d", f)
+		}
+	}
+}
+
+func TestShaveTarget(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = 9.6 * MW / 6
+	}
+	need, ids := topo.ShaveTarget(load, 0, 0)
+	if len(ids) != 3 {
+		t.Fatalf("overloaded survivors = %v, want 3", ids)
+	}
+	// Each survivor is at 4/3 × 2.4MW = 3.2MW → must shed 0.8MW.
+	for _, u := range ids {
+		if math.Abs(float64(need[u]-0.8*MW)) > 1 {
+			t.Errorf("shave need[%d] = %v, want 0.8MW", u, need[u])
+		}
+	}
+	// With a buffer the requirement grows by the buffer.
+	need, _ = topo.ShaveTarget(load, 0, 100*KW)
+	for u, w := range need {
+		if math.Abs(float64(w-0.9*MW)) > 1 {
+			t.Errorf("buffered shave need[%d] = %v, want 0.9MW", u, w)
+		}
+	}
+}
+
+func TestPairLoadHelpers(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	load := NewPairLoad(topo)
+	load[0] = MW
+	c := load.Clone()
+	c[0] = 2 * MW
+	if load[0] != MW {
+		t.Error("Clone aliases the original")
+	}
+	if load.Total() != MW {
+		t.Errorf("Total = %v, want 1MW", load.Total())
+	}
+	// Short PairLoads treat missing pairs as zero.
+	short := PairLoad{MW}
+	loads := topo.UPSLoads(short)
+	if loads[0] != MW/2 || loads[1] != MW/2 {
+		t.Errorf("short PairLoad UPS loads = %v", loads)
+	}
+}
+
+func TestPairFeeds(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	p := topo.Pairs[0]
+	if !topo.PairFeeds(p.ID, p.UPSes[0]) || !topo.PairFeeds(p.ID, p.UPSes[1]) {
+		t.Error("PairFeeds should be true for both upstream UPSes")
+	}
+	for u := 0; u < 4; u++ {
+		id := UPSID(u)
+		if id != p.UPSes[0] && id != p.UPSes[1] && topo.PairFeeds(p.ID, id) {
+			t.Errorf("PairFeeds(%d) should be false", u)
+		}
+	}
+}

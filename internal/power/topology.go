@@ -1,0 +1,184 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UPSID identifies a UPS within a Topology (0-based, dense).
+type UPSID int
+
+// PDUPairID identifies a PDU-pair within a Topology (0-based, dense).
+type PDUPairID int
+
+// UPS is an uninterruptible power supply. Its Capacity is the rated
+// continuous output; overload behaviour is governed by a TripCurve.
+type UPS struct {
+	ID       UPSID
+	Name     string
+	Capacity Watts
+}
+
+// PDUPair is a pair of power distribution units feeding a set of racks in
+// active-active mode. Each PDU of the pair is connected to one of the two
+// distinct upstream UPSes, so under normal operation each UPS carries half
+// of the pair's load, and during failover of one UPS the other carries all
+// of it (paper Figure 2).
+type PDUPair struct {
+	ID    PDUPairID
+	Name  string
+	UPSes [2]UPSID // the two distinct upstream UPSes; UPSes[0] < UPSes[1]
+}
+
+// Topology is the electrical topology of one datacenter room: the
+// redundancy design, the UPS fleet, and the PDU-pairs with their upstream
+// mapping. Topologies are immutable after construction.
+type Topology struct {
+	Design Redundancy
+	UPSes  []UPS
+	Pairs  []PDUPair
+
+	pairsByUPS [][]PDUPairID // UPSID -> pairs it feeds
+}
+
+// RoomConfig configures NewRoom.
+type RoomConfig struct {
+	// Design is the redundancy pattern at the UPS level, e.g. {X:4, Y:3}.
+	Design Redundancy
+	// UPSCapacity is the rated capacity of each UPS. The room's provisioned
+	// power is Design.X × UPSCapacity.
+	UPSCapacity Watts
+	// PairsPerCombination is how many PDU-pairs to instantiate for each
+	// unordered combination of two distinct UPSes. With X=4 there are 6
+	// combinations; PairsPerCombination=3 yields 18 PDU-pairs.
+	PairsPerCombination int
+}
+
+// NewRoom builds the room topology used throughout the paper: x UPSes of
+// equal capacity and PDU-pairs spread uniformly across all C(x,2) UPS
+// combinations, which realizes the "each UPS shares roughly 1/(x-1) of its
+// load with each other UPS" property of the distributed-redundant design.
+func NewRoom(cfg RoomConfig) (*Topology, error) {
+	if err := cfg.Design.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.UPSCapacity <= 0 {
+		return nil, fmt.Errorf("power: UPS capacity must be positive, got %v", cfg.UPSCapacity)
+	}
+	if cfg.PairsPerCombination < 1 {
+		return nil, fmt.Errorf("power: PairsPerCombination must be >= 1, got %d", cfg.PairsPerCombination)
+	}
+	t := &Topology{Design: cfg.Design}
+	for i := 0; i < cfg.Design.X; i++ {
+		t.UPSes = append(t.UPSes, UPS{
+			ID:       UPSID(i),
+			Name:     fmt.Sprintf("UPS-%d", i+1),
+			Capacity: cfg.UPSCapacity,
+		})
+	}
+	for a := 0; a < cfg.Design.X; a++ {
+		for b := a + 1; b < cfg.Design.X; b++ {
+			for k := 0; k < cfg.PairsPerCombination; k++ {
+				id := PDUPairID(len(t.Pairs))
+				t.Pairs = append(t.Pairs, PDUPair{
+					ID:    id,
+					Name:  fmt.Sprintf("PDU-%d%d-%c", a+1, b+1, 'a'+k),
+					UPSes: [2]UPSID{UPSID(a), UPSID(b)},
+				})
+			}
+		}
+	}
+	t.index()
+	return t, nil
+}
+
+// NewCustomTopology builds a topology from an explicit UPS list and
+// PDU-pair→UPS mapping, validating the mapping. It is used by tests and by
+// callers modelling non-uniform rooms.
+func NewCustomTopology(design Redundancy, upses []UPS, pairs []PDUPair) (*Topology, error) {
+	if err := design.Validate(); err != nil {
+		return nil, err
+	}
+	if len(upses) != design.X {
+		return nil, fmt.Errorf("power: design %v needs %d UPSes, got %d", design, design.X, len(upses))
+	}
+	t := &Topology{Design: design, UPSes: upses, Pairs: pairs}
+	for i, u := range upses {
+		if u.ID != UPSID(i) {
+			return nil, fmt.Errorf("power: UPS %d has ID %d; IDs must be dense and ordered", i, u.ID)
+		}
+		if u.Capacity <= 0 {
+			return nil, fmt.Errorf("power: UPS %s has non-positive capacity", u.Name)
+		}
+	}
+	for i, p := range pairs {
+		if p.ID != PDUPairID(i) {
+			return nil, fmt.Errorf("power: pair %d has ID %d; IDs must be dense and ordered", i, p.ID)
+		}
+		a, b := p.UPSes[0], p.UPSes[1]
+		if a == b {
+			return nil, fmt.Errorf("power: pair %s connects to a single UPS", p.Name)
+		}
+		if int(a) < 0 || int(a) >= len(upses) || int(b) < 0 || int(b) >= len(upses) {
+			return nil, fmt.Errorf("power: pair %s references unknown UPS", p.Name)
+		}
+	}
+	t.index()
+	return t, nil
+}
+
+func (t *Topology) index() {
+	t.pairsByUPS = make([][]PDUPairID, len(t.UPSes))
+	for _, p := range t.Pairs {
+		t.pairsByUPS[p.UPSes[0]] = append(t.pairsByUPS[p.UPSes[0]], p.ID)
+		t.pairsByUPS[p.UPSes[1]] = append(t.pairsByUPS[p.UPSes[1]], p.ID)
+	}
+	for _, ids := range t.pairsByUPS {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+}
+
+// ProvisionedPower is the sum of all UPS capacities — the paper's
+// "provisioned" power (reserve plus non-reserve).
+func (t *Topology) ProvisionedPower() Watts {
+	var sum Watts
+	for _, u := range t.UPSes {
+		sum += u.Capacity
+	}
+	return sum
+}
+
+// ConventionalAllocatablePower is the power a non-Flex datacenter may
+// allocate: provisioned × y/x. A Flex datacenter allocates the full
+// provisioned power instead.
+func (t *Topology) ConventionalAllocatablePower() Watts {
+	return Watts(float64(t.ProvisionedPower()) * t.Design.AllocationLimitFraction())
+}
+
+// AllocationLimit is the conventional per-UPS allocation limit:
+// capacity × y/x (paper §II-A).
+func (t *Topology) AllocationLimit(u UPSID) Watts {
+	return Watts(float64(t.UPSes[u].Capacity) * t.Design.AllocationLimitFraction())
+}
+
+// PairsOn returns the PDU-pairs fed by UPS u, in ID order.
+func (t *Topology) PairsOn(u UPSID) []PDUPairID { return t.pairsByUPS[u] }
+
+// PartnerUPS returns the other upstream UPS of pair p, given one of its
+// two UPSes. It panics if u does not feed p.
+func (t *Topology) PartnerUPS(p PDUPairID, u UPSID) UPSID {
+	pair := t.Pairs[p]
+	switch u {
+	case pair.UPSes[0]:
+		return pair.UPSes[1]
+	case pair.UPSes[1]:
+		return pair.UPSes[0]
+	}
+	panic(fmt.Sprintf("power: UPS %d does not feed pair %d", u, p))
+}
+
+// PairFeeds reports whether pair p is fed by UPS u.
+func (t *Topology) PairFeeds(p PDUPairID, u UPSID) bool {
+	pair := t.Pairs[p]
+	return pair.UPSes[0] == u || pair.UPSes[1] == u
+}

@@ -1,0 +1,141 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewTripCurveValidation(t *testing.T) {
+	if _, err := NewTripCurve("empty", nil); err == nil {
+		t.Error("expected error for empty curve")
+	}
+	if _, err := NewTripCurve("bad-frac", []TripPoint{{LoadFraction: 0.9, Tolerance: time.Second}}); err == nil {
+		t.Error("expected error for fraction <= 1")
+	}
+	if _, err := NewTripCurve("bad-tol", []TripPoint{{LoadFraction: 1.2, Tolerance: 0}}); err == nil {
+		t.Error("expected error for non-positive tolerance")
+	}
+	if _, err := NewTripCurve("non-monotone", []TripPoint{
+		{LoadFraction: 1.1, Tolerance: time.Second},
+		{LoadFraction: 1.2, Tolerance: 2 * time.Second},
+	}); err == nil {
+		t.Error("expected error for increasing tolerance")
+	}
+}
+
+func TestEndOfLifeCurvePaperAnchor(t *testing.T) {
+	// Paper §IV-A: at the worst-case failover load of 133%, the UPS
+	// provides 10 seconds of tolerance (end of battery life).
+	got := EndOfLifeTripCurve.Tolerance(4.0 / 3.0)
+	if got != 10*time.Second {
+		t.Fatalf("tolerance at 133%% = %v, want 10s", got)
+	}
+	if BeginOfLifeTripCurve.Tolerance(4.0/3.0) != 30*time.Second {
+		t.Fatal("begin-of-life at 133% should be 30s")
+	}
+}
+
+func TestToleranceBelowRatingNeverTrips(t *testing.T) {
+	for _, f := range []float64{0, 0.5, 0.99, 1.0} {
+		if got := EndOfLifeTripCurve.Tolerance(f); got < 24*time.Hour {
+			t.Errorf("tolerance at %.2f = %v, want effectively infinite", f, got)
+		}
+	}
+}
+
+func TestToleranceMonotoneDecreasing(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa := 1.0 + float64(a%1000)/1000.0 // 1.0 .. 2.0
+		fb := 1.0 + float64(b%1000)/1000.0
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return EndOfLifeTripCurve.Tolerance(fa) >= EndOfLifeTripCurve.Tolerance(fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToleranceClampsBeyondLastPoint(t *testing.T) {
+	last := EndOfLifeTripCurve.Points()[len(EndOfLifeTripCurve.Points())-1]
+	if got := EndOfLifeTripCurve.Tolerance(3.0); got != last.Tolerance {
+		t.Fatalf("tolerance beyond curve = %v, want %v", got, last.Tolerance)
+	}
+}
+
+func TestToleranceInterpolatesBetweenPoints(t *testing.T) {
+	// Between 1.20 (28s) and 1.333 (10s): tolerance must be inside (10,28).
+	got := EndOfLifeTripCurve.Tolerance(1.27)
+	if got <= 10*time.Second || got >= 28*time.Second {
+		t.Fatalf("interpolated tolerance = %v, want in (10s, 28s)", got)
+	}
+}
+
+func TestPointsReturnsCopy(t *testing.T) {
+	ps := EndOfLifeTripCurve.Points()
+	ps[0].Tolerance = 0
+	if EndOfLifeTripCurve.Points()[0].Tolerance == 0 {
+		t.Fatal("Points exposed internal state")
+	}
+}
+
+func TestFlexLatencyBudgetWithinWorstCaseTolerance(t *testing.T) {
+	// The 10-second Flex budget must not exceed the end-of-life tolerance
+	// at the worst-case 133% failover load — this is the paper's design
+	// equation for the end-to-end deadline.
+	tol := EndOfLifeTripCurve.Tolerance(Redundancy{X: 4, Y: 3}.WorstCaseFailoverFraction())
+	if FlexLatencyBudget > tol {
+		t.Fatalf("latency budget %v exceeds worst-case tolerance %v", FlexLatencyBudget, tol)
+	}
+}
+
+func TestSimulateCascadeNoActionCausesOutage(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	// Full allocation, 100% utilization: failover pushes survivors to 133%.
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = 9.6 * MW / 6
+	}
+	out := topo.SimulateCascade(load, 0, EndOfLifeTripCurve, time.Hour)
+	if !out.Outage {
+		t.Fatal("expected cascading outage without corrective action")
+	}
+	if len(out.Tripped) < 2 {
+		t.Fatalf("expected at least one overload trip, got %v", out.Tripped)
+	}
+	if out.TimeToOutage <= 0 || out.TimeToOutage > time.Hour {
+		t.Fatalf("TimeToOutage = %v", out.TimeToOutage)
+	}
+}
+
+func TestSimulateCascadeStableAfterShaving(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	// Conventional allocation: failover keeps survivors at capacity.
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = 7.2 * MW / 6
+	}
+	out := topo.SimulateCascade(load, 0, EndOfLifeTripCurve, time.Hour)
+	if out.Outage {
+		t.Fatal("conventional allocation must not cascade")
+	}
+	if len(out.Tripped) != 1 {
+		t.Fatalf("Tripped = %v, want only the initial failure", out.Tripped)
+	}
+}
+
+func TestSimulateCascadeHorizonBoundsTrips(t *testing.T) {
+	topo := fourN3Room(t, 1)
+	load := NewPairLoad(topo)
+	for i := range load {
+		load[i] = 9.6 * MW / 6
+	}
+	// Survivors sit at 133% → first trip at 10s. A 5s horizon means the
+	// corrective action (modeled as "we stop simulating") arrives first.
+	out := topo.SimulateCascade(load, 0, EndOfLifeTripCurve, 5*time.Second)
+	if out.Outage || len(out.Tripped) != 1 {
+		t.Fatalf("cascade within 5s horizon: %+v", out)
+	}
+}

@@ -1,0 +1,103 @@
+// Package report renders experiment results as CSV, so the figures the
+// benchmark harness reproduces can be regenerated, plotted, and diffed
+// outside Go (the paper's figures are box plots and series; the CSV rows
+// here carry exactly those statistics).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"flex/internal/emu"
+	"flex/internal/sim"
+	"flex/internal/stats"
+	"flex/internal/workload"
+)
+
+// PolicyRow is one policy's box statistics for Figures 9 and 10.
+type PolicyRow struct {
+	Policy    string
+	Stranded  stats.Box
+	Imbalance stats.Box
+}
+
+// WritePolicyBoxes writes Figure 9/10 rows as CSV.
+func WritePolicyBoxes(w io.Writer, rows []PolicyRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"policy",
+		"stranded_min", "stranded_p25", "stranded_med", "stranded_p75", "stranded_max",
+		"imbalance_min", "imbalance_p25", "imbalance_med", "imbalance_p75", "imbalance_max"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Policy,
+			f(r.Stranded.Min), f(r.Stranded.P25), f(r.Stranded.Median), f(r.Stranded.P75), f(r.Stranded.Max),
+			f(r.Imbalance.Min), f(r.Imbalance.P25), f(r.Imbalance.Median), f(r.Imbalance.P75), f(r.Imbalance.Max)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure12 writes one scenario's Figure 12 series as CSV.
+func WriteFigure12(w io.Writer, scenario string, pts []sim.Figure12Point) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scenario", "utilization",
+		"impacted_mean", "impacted_std",
+		"shutdown_mean", "shutdown_std",
+		"throttled_mean", "throttled_std", "insufficient_runs"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{scenario, f(p.Utilization),
+			f(p.Impacted.Mean), f(p.Impacted.Std),
+			f(p.ShutDown.Mean), f(p.ShutDown.Std),
+			f(p.Throttled.Mean), f(p.Throttled.Std),
+			strconv.Itoa(p.Insufficient)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure13 writes the emulation timeline as CSV (Figure 13a+13b).
+func WriteFigure13(w io.Writer, res *emu.Result) error {
+	cw := csv.NewWriter(w)
+	if len(res.Series) == 0 {
+		return fmt.Errorf("report: empty emulation series")
+	}
+	n := len(res.Series[0].UPSPower)
+	header := []string{"t_seconds", "stage"}
+	for u := 0; u < n; u++ {
+		header = append(header, fmt.Sprintf("ups%d_watts", u+1))
+	}
+	header = append(header, "sr_watts", "capable_watts", "noncapable_watts")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range res.Series {
+		rec := []string{f(p.T.Seconds()), p.Stage}
+		for _, v := range p.UPSPower {
+			rec = append(rec, f(float64(v)))
+		}
+		rec = append(rec,
+			f(float64(p.RackPower[workload.SoftwareRedundant])),
+			f(float64(p.RackPower[workload.NonRedundantCapable])),
+			f(float64(p.RackPower[workload.NonRedundantNonCapable])))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

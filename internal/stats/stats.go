@@ -1,0 +1,177 @@
+// Package stats provides the small statistical toolkit used throughout the
+// Flex reproduction: percentiles, box-plot summaries (for Figures 9 and 10),
+// mean/standard deviation (for Figure 12 whiskers), and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when xs has
+// fewer than two elements.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Box is a five-number summary used to render the box-and-whisker plots in
+// the paper's Figures 9 and 10.
+type Box struct {
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// BoxOf computes the five-number summary of xs.
+func BoxOf(xs []float64) Box {
+	if len(xs) == 0 {
+		return Box{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Box{
+		Min:    sorted[0],
+		P25:    percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		P75:    percentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String renders the box in a compact, fixed-precision form.
+func (b Box) String() string {
+	return fmt.Sprintf("min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f",
+		b.Min, b.P25, b.Median, b.P75, b.Max)
+}
+
+// MeanStd is a mean ± standard-deviation pair (Figure 12 whiskers).
+type MeanStd struct {
+	Mean float64
+	Std  float64
+}
+
+// MeanStdOf computes mean and population standard deviation of xs.
+func MeanStdOf(xs []float64) MeanStd {
+	return MeanStd{Mean: Mean(xs), Std: StdDev(xs)}
+}
+
+// String renders the pair as "mean±std" with two decimals.
+func (m MeanStd) String() string {
+	return fmt.Sprintf("%.2f±%.2f", m.Mean, m.Std)
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	Under   int // samples below Lo
+	Over    int // samples at or above Hi
+	Count   int
+}
+
+// NewHistogram creates a histogram with n equal-width buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.Count++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i == len(h.Buckets) { // guard FP edge
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// FractionAtOrAbove returns the fraction of samples >= x.
+func (h *Histogram) FractionAtOrAbove(x float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	n := h.Over
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		lo := h.Lo + float64(i)*width
+		if lo >= x {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.Count)
+}
+
+// Nines converts an availability fraction (e.g. 0.9999) into its
+// "number of nines" (e.g. 4.0). Returns +Inf for availability >= 1.
+func Nines(availability float64) float64 {
+	if availability >= 1 {
+		return math.Inf(1)
+	}
+	if availability <= 0 {
+		return 0
+	}
+	return -math.Log10(1 - availability)
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEq(got, 2.5) {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev single = %v, want 0", got)
+	}
+	// Population std of {2,4,4,4,5,5,7,9} is exactly 2.
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 2) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {10, 14},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	b := BoxOf([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || !almostEq(b.Median, 3) {
+		t.Fatalf("BoxOf = %+v", b)
+	}
+	if b.P25 != 2 || b.P75 != 4 {
+		t.Fatalf("quartiles = %+v", b)
+	}
+	if BoxOf(nil) != (Box{}) {
+		t.Fatal("BoxOf(nil) should be zero Box")
+	}
+}
+
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs { // sanitize NaN/Inf from quick
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		b := BoxOf(xs)
+		return b.Min <= b.P25 && b.P25 <= b.Median &&
+			b.Median <= b.P75 && b.P75 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, p1, p2 float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // under
+	h.Add(11) // over
+	if h.Count != 12 || h.Under != 1 || h.Over != 1 {
+		t.Fatalf("counts: %+v", h)
+	}
+	if got := h.FractionAtOrAbove(5); !almostEq(got, 6.0/12.0) {
+		t.Fatalf("FractionAtOrAbove(5) = %v", got)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestNines(t *testing.T) {
+	if got := Nines(0.9999); !almostEq(got, 4) {
+		t.Fatalf("Nines(0.9999) = %v, want 4", got)
+	}
+	if got := Nines(0.999); !almostEq(got, 3) {
+		t.Fatalf("Nines(0.999) = %v, want 3", got)
+	}
+	if !math.IsInf(Nines(1), 1) {
+		t.Fatal("Nines(1) should be +Inf")
+	}
+	if Nines(0) != 0 || Nines(-1) != 0 {
+		t.Fatal("Nines(<=0) should be 0")
+	}
+}
+
+func TestMeanStdString(t *testing.T) {
+	ms := MeanStdOf([]float64{1, 1, 1})
+	if ms.Mean != 1 || ms.Std != 0 {
+		t.Fatalf("MeanStdOf = %+v", ms)
+	}
+	if ms.String() != "1.00±0.00" {
+		t.Fatalf("String = %q", ms.String())
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	s := BoxOf([]float64{1, 2, 3}).String()
+	if s == "" {
+		t.Fatal("empty box string")
+	}
+}

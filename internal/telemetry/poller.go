@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/power"
+)
+
+// Target is one device a poller polls: its logical (consensus) meter and
+// the topic its samples are published on.
+type Target struct {
+	Meter *LogicalMeter
+	Topic string
+}
+
+// Poller periodically reads a set of logical meters and publishes the
+// samples to every configured broker. Flex runs two or more pollers on
+// separate fault domains, each publishing the same devices; subscribers
+// deduplicate (paper Figure 7).
+type Poller struct {
+	Name     string
+	Interval time.Duration
+	Clock    clock.Clock
+	Brokers  []SamplePublisher
+	Targets  []Target
+
+	mu    sync.Mutex
+	seq   map[string]uint64
+	down  bool
+	polls int
+}
+
+// NewPoller constructs a poller. Interval defaults to 1.5 seconds (the
+// paper's UPS telemetry frequency) when zero.
+func NewPoller(name string, clk clock.Clock, interval time.Duration, brokers []SamplePublisher, targets []Target) *Poller {
+	if interval <= 0 {
+		interval = 1500 * time.Millisecond
+	}
+	return &Poller{
+		Name:     name,
+		Interval: interval,
+		Clock:    clk,
+		Brokers:  brokers,
+		Targets:  targets,
+		seq:      make(map[string]uint64),
+	}
+}
+
+// PollOnce reads every target once and publishes the samples. It is the
+// unit of work Run repeats; tests and the emulator drive it directly for
+// deterministic schedules.
+func (p *Poller) PollOnce() {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return
+	}
+	p.polls++
+	p.mu.Unlock()
+	now := p.Clock.Now()
+	for _, t := range p.Targets {
+		v, err := t.Meter.Read(now)
+		s := Sample{
+			Device:     t.Meter.Device,
+			Power:      v,
+			Valid:      err == nil,
+			MeasuredAt: now,
+			Poller:     p.Name,
+			Seq:        p.nextSeq(t.Meter.Device),
+		}
+		for _, b := range p.Brokers {
+			b.Publish(t.Topic, s)
+		}
+	}
+}
+
+func (p *Poller) nextSeq(device string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq[device]++
+	return p.seq[device]
+}
+
+// Run polls until ctx is cancelled, sleeping Interval between rounds on
+// the poller's clock.
+func (p *Poller) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		p.PollOnce()
+		select {
+		case <-ctx.Done():
+			return
+		case <-p.Clock.After(p.Interval):
+		}
+	}
+}
+
+// SetDown injects or clears a poller outage.
+func (p *Poller) SetDown(down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = down
+}
+
+// Polls reports how many poll rounds have executed.
+func (p *Poller) Polls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.polls
+}
+
+// Deduper collapses the duplicate samples that arrive through the
+// redundant poller × broker paths: a sample is fresh when it is newer than
+// the last accepted measurement for its device (measurement time, then
+// sequence as a tiebreaker per poller).
+type Deduper struct {
+	mu   sync.Mutex
+	last map[string]time.Time
+}
+
+// NewDeduper returns an empty deduper.
+func NewDeduper() *Deduper { return &Deduper{last: make(map[string]time.Time)} }
+
+// Fresh reports whether s carries new information and records it if so.
+func (d *Deduper) Fresh(s Sample) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.last[s.Device]; ok && !s.MeasuredAt.After(t) {
+		return false
+	}
+	d.last[s.Device] = s.MeasuredAt
+	return true
+}
+
+// LatestPower is a thread-safe view of the most recent valid power per
+// device, assembled from deduplicated samples — the controller's power
+// snapshot (Algorithm 1 lines 2–3).
+type LatestPower struct {
+	mu    sync.Mutex
+	power map[string]power.Watts
+	at    map[string]time.Time
+}
+
+// NewLatestPower returns an empty view.
+func NewLatestPower() *LatestPower {
+	return &LatestPower{power: make(map[string]power.Watts), at: make(map[string]time.Time)}
+}
+
+// Update records a valid sample (invalid samples are ignored).
+func (l *LatestPower) Update(s Sample) {
+	if !s.Valid {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := l.at[s.Device]; ok && !s.MeasuredAt.After(t) {
+		return
+	}
+	l.power[s.Device] = s.Power
+	l.at[s.Device] = s.MeasuredAt
+}
+
+// Get returns the last power for device and whether one exists.
+func (l *LatestPower) Get(device string) (power.Watts, time.Time, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.power[device]
+	return v, l.at[device], ok
+}
+
+// Snapshot copies the current view.
+func (l *LatestPower) Snapshot() map[string]power.Watts {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]power.Watts, len(l.power))
+	for k, v := range l.power {
+		out[k] = v
+	}
+	return out
+}
+
+// Age returns how stale device's last sample is at time now; ok=false when
+// the device has never reported.
+func (l *LatestPower) Age(device string, now time.Time) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.at[device]
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(t), true
+}

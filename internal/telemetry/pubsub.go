@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"flex/internal/power"
+)
+
+// Sample is one published power measurement.
+type Sample struct {
+	Device string // e.g. "UPS-1" or "rack-12-03"
+	Power  power.Watts
+	// Valid is false when the poller could not obtain quorum for the
+	// device; consumers must treat the power as unknown.
+	Valid bool
+	// MeasuredAt is when the poller took the reading; consumers use it
+	// for latency accounting and deduplication.
+	MeasuredAt time.Time
+	// Poller identifies the publishing poller (for dedup across the
+	// redundant paths).
+	Poller string
+	// Seq increases per (Poller, Device).
+	Seq uint64
+}
+
+// Subscription receives samples for one topic. Drop-oldest semantics keep
+// slow subscribers from blocking the pipeline — stale power data is
+// worthless to Flex, fresh data is everything.
+type Subscription struct {
+	C      chan Sample
+	broker *Broker
+	topic  string
+
+	mu      sync.Mutex
+	dropped int
+	closed  bool
+}
+
+// Dropped reports how many samples were discarded because the subscriber
+// lagged.
+func (s *Subscription) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close unsubscribes.
+func (s *Subscription) Close() {
+	s.broker.unsubscribe(s.topic, s)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.C)
+	}
+}
+
+// Broker is an in-process topic-based publish/subscribe system. Flex
+// deploys two independent brokers; controllers subscribe to both and
+// deduplicate, so the loss of one broker is invisible (paper Figure 7).
+type Broker struct {
+	Name string
+
+	mu     sync.Mutex
+	topics map[string][]*Subscription
+	down   bool
+}
+
+// NewBroker creates an empty broker.
+func NewBroker(name string) *Broker {
+	return &Broker{Name: name, topics: make(map[string][]*Subscription)}
+}
+
+// Subscribe registers a subscriber for topic with the given channel
+// buffer.
+func (b *Broker) Subscribe(topic string, buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscription{C: make(chan Sample, buffer), broker: b, topic: topic}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.topics[topic] = append(b.topics[topic], sub)
+	return sub
+}
+
+func (b *Broker) unsubscribe(topic string, sub *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.topics[topic]
+	for i, s := range subs {
+		if s == sub {
+			b.topics[topic] = append(subs[:i], subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish fans a sample out to all of topic's subscribers. When a
+// subscriber's buffer is full the oldest sample is dropped. Publishing on
+// a downed broker is a silent no-op (that is the failure the duplicated
+// broker masks).
+func (b *Broker) Publish(topic string, s Sample) {
+	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		return
+	}
+	subs := append([]*Subscription(nil), b.topics[topic]...)
+	b.mu.Unlock()
+	for _, sub := range subs {
+		sub.mu.Lock()
+		if sub.closed {
+			sub.mu.Unlock()
+			continue
+		}
+		for {
+			select {
+			case sub.C <- s:
+			default:
+				select {
+				case <-sub.C:
+					sub.dropped++
+				default:
+				}
+				continue
+			}
+			break
+		}
+		sub.mu.Unlock()
+	}
+}
+
+// SetDown injects or clears a broker outage.
+func (b *Broker) SetDown(down bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.down = down
+}
+
+// Topics used by the Flex pipeline.
+const (
+	TopicUPS  = "power/ups"
+	TopicRack = "power/rack"
+)

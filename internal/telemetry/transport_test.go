@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/power"
+)
+
+// startServer spins up a BrokerServer on a loopback listener.
+func startServer(t *testing.T) (*BrokerServer, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewBrokerServer(NewBroker("net-A"))
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(srv.Close)
+	return srv, l.Addr().String()
+}
+
+func recvSample(t *testing.T, ch <-chan Sample) Sample {
+	t.Helper()
+	select {
+	case s, ok := <-ch:
+		if !ok {
+			t.Fatal("subscription closed")
+		}
+		return s
+	case <-time.After(2 * time.Second):
+		t.Fatal("no sample received")
+	}
+	return Sample{}
+}
+
+func TestTransportPublishSubscribe(t *testing.T) {
+	_, addr := startServer(t)
+	sub, err := RemoteSubscribe(addr, TopicUPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	pub := NewRemotePublisher(addr)
+	defer pub.Close()
+	want := Sample{Device: "UPS-1", Power: 1.2 * power.MW, Valid: true,
+		MeasuredAt: time.Unix(100, 0).UTC(), Poller: "p1", Seq: 7}
+	// Publish until the subscriber sees it (the subscribe handshake races
+	// the first publish on a fresh connection).
+	done := make(chan Sample, 1)
+	go func() { done <- recvSample(t, sub.C) }()
+	deadline := time.Now().Add(2 * time.Second)
+	var got Sample
+loop:
+	for time.Now().Before(deadline) {
+		pub.Publish(TopicUPS, want)
+		select {
+		case got = <-done:
+			break loop
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if got.Device != want.Device || got.Power != want.Power || got.Seq != want.Seq ||
+		!got.MeasuredAt.Equal(want.MeasuredAt) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestTransportTopicIsolation(t *testing.T) {
+	srv, addr := startServer(t)
+	subRack, err := RemoteSubscribe(addr, TopicRack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subRack.Close()
+	// Give the subscription a moment to register.
+	waitFor(t, func() bool {
+		srv.Broker.mu.Lock()
+		defer srv.Broker.mu.Unlock()
+		return len(srv.Broker.topics[TopicRack]) == 1
+	})
+	srv.Broker.Publish(TopicUPS, Sample{Device: "UPS-1", Valid: true})
+	srv.Broker.Publish(TopicRack, Sample{Device: "rack-1", Valid: true})
+	s := recvSample(t, subRack.C)
+	if s.Device != "rack-1" {
+		t.Fatalf("got %q on rack topic", s.Device)
+	}
+}
+
+func TestTransportPollerOverTCP(t *testing.T) {
+	srv, addr := startServer(t)
+	_ = srv
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	lm, err := NewLogicalMeter("UPS-1", StaticMeter{MeterName: "m", Value: 500 * power.KW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := NewRemotePublisher(addr)
+	defer pub.Close()
+	p := NewPoller("p1", clk, time.Second, []SamplePublisher{pub},
+		[]Target{{Meter: lm, Topic: TopicUPS}})
+	sub, err := RemoteSubscribe(addr, TopicUPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Poll until delivery (handshake race again).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		p.PollOnce()
+		select {
+		case s := <-sub.C:
+			if s.Device != "UPS-1" || s.Power != 500*power.KW {
+				t.Fatalf("sample %+v", s)
+			}
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	t.Fatal("no sample over TCP")
+}
+
+func TestTransportPublisherSurvivesServerBounce(t *testing.T) {
+	srv1, addr := startServer(t)
+	pub := NewRemotePublisher(addr)
+	pub.RetryInterval = time.Millisecond
+	defer pub.Close()
+	pub.Publish(TopicUPS, Sample{Device: "d", Valid: true}) // connects
+	srv1.Close()
+	// Publishing into a dead server must not panic or block.
+	for i := 0; i < 5; i++ {
+		pub.Publish(TopicUPS, Sample{Device: "d", Valid: true})
+	}
+	// Bring a new server up on a new address; the old publisher is bound
+	// to the old address, so this documents best-effort semantics: a
+	// fresh publisher is needed for a relocated broker.
+	_, addr2 := startServer(t)
+	pub2 := NewRemotePublisher(addr2)
+	defer pub2.Close()
+	sub, err := RemoteSubscribe(addr2, TopicUPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		pub2.Publish(TopicUPS, Sample{Device: "d2", Valid: true})
+		select {
+		case s := <-sub.C:
+			if s.Device != "d2" {
+				t.Fatalf("sample %+v", s)
+			}
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	t.Fatal("replacement path never delivered")
+}
+
+func TestTransportSubscriptionClosesOnServerClose(t *testing.T) {
+	srv, addr := startServer(t)
+	sub, err := RemoteSubscribe(addr, TopicUPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			// A sample may have raced in; the close must still follow.
+			select {
+			case _, ok2 := <-sub.C:
+				if ok2 {
+					t.Fatal("channel did not close")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("channel did not close after server shutdown")
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("channel did not close after server shutdown")
+	}
+}
+
+func TestTransportRejectsUnreachableAddress(t *testing.T) {
+	if _, err := RemoteSubscribe("127.0.0.1:1", TopicUPS); err == nil {
+		t.Fatal("expected dial error")
+	}
+	pub := NewRemotePublisher("127.0.0.1:1")
+	defer pub.Close()
+	pub.Publish(TopicUPS, Sample{}) // must not panic
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flex/internal/power"
+)
+
+// deploymentJSON is the on-disk schema for a deployment request. Power is
+// in watts; Category is the canonical string form ("software-redundant",
+// "non-redundant-capable", "non-redundant-non-capable").
+type deploymentJSON struct {
+	ID                int     `json:"id"`
+	Workload          string  `json:"workload"`
+	Category          string  `json:"category"`
+	Racks             int     `json:"racks"`
+	PowerPerRackWatts float64 `json:"power_per_rack_watts"`
+	FlexPowerFraction float64 `json:"flex_power_fraction"`
+}
+
+func categoryFromString(s string) (Category, error) {
+	for _, c := range Categories {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown category %q", s)
+}
+
+// WriteTrace encodes a demand trace as JSON (one array of deployment
+// objects), so traces can be shared between the CLI tools and external
+// capacity-planning systems.
+func WriteTrace(w io.Writer, trace []Deployment) error {
+	out := make([]deploymentJSON, len(trace))
+	for i, d := range trace {
+		out[i] = deploymentJSON{
+			ID:                d.ID,
+			Workload:          d.Workload,
+			Category:          d.Category.String(),
+			Racks:             d.Racks,
+			PowerPerRackWatts: float64(d.PowerPerRack),
+			FlexPowerFraction: d.FlexPowerFraction,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadTrace decodes a JSON demand trace and validates every deployment.
+func ReadTrace(r io.Reader) ([]Deployment, error) {
+	var raw []deploymentJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	out := make([]Deployment, len(raw))
+	for i, d := range raw {
+		cat, err := categoryFromString(d.Category)
+		if err != nil {
+			return nil, fmt.Errorf("workload: deployment %d: %w", i, err)
+		}
+		out[i] = Deployment{
+			ID:                d.ID,
+			Workload:          d.Workload,
+			Category:          cat,
+			Racks:             d.Racks,
+			PowerPerRack:      power.Watts(d.PowerPerRackWatts),
+			FlexPowerFraction: d.FlexPowerFraction,
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

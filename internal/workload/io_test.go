@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flex/internal/power"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := DefaultTraceConfig(4.8 * power.MW)
+	trace, err := GenerateTrace(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("length %d vs %d", len(got), len(trace))
+	}
+	for i := range got {
+		if got[i] != trace[i] {
+			t.Fatalf("deployment %d: %+v vs %+v", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`[{"id":0,"workload":"w","category":"martian","racks":1,"power_per_rack_watts":100,"flex_power_fraction":1}]`)); err == nil {
+		t.Error("expected category error")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`[{"id":0,"workload":"w","category":"software-redundant","racks":0,"power_per_rack_watts":100,"flex_power_fraction":0}]`)); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestCategoryFromString(t *testing.T) {
+	for _, c := range Categories {
+		got, err := categoryFromString(c.String())
+		if err != nil || got != c {
+			t.Errorf("round trip failed for %v", c)
+		}
+	}
+	if _, err := categoryFromString("x"); err == nil {
+		t.Error("expected error")
+	}
+}
