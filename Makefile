@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz examples clean
+.PHONY: all build vet lint test race cover bench fuzz examples ci clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: clock hygiene, float equality, unit
+# mixing, lock discipline, discarded shed-critical errors. See DESIGN.md
+# ("Static analysis & correctness tooling") and internal/analysis.
+lint:
+	$(GO) run ./cmd/flexlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# What CI runs (.github/workflows/ci.yml): the full gate plus a race pass
+# over the concurrent packages.
+ci: build vet lint test
+	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/...
 
 cover:
 	$(GO) test -cover ./...

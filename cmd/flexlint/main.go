@@ -1,0 +1,136 @@
+// Command flexlint runs Flex's custom correctness analyzers over the
+// repository: clockcheck (injected-clock discipline), floateq (no exact
+// float comparison in the numeric packages), unitcheck (no mixed power
+// units), locksend (no blocking operations under a mutex), and shedcheck
+// (no discarded errors on the power-shedding path).
+//
+// Usage:
+//
+//	go run ./cmd/flexlint ./...
+//	go run ./cmd/flexlint -list
+//	go run ./cmd/flexlint ./internal/telemetry ./internal/controller
+//
+// flexlint exits 1 when any analyzer reports a finding and 0 on a clean
+// tree. It analyzes non-test files only: the invariants it enforces are
+// deliberately relaxed in _test.go files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flex/internal/analysis"
+	"flex/internal/analysis/clockcheck"
+	"flex/internal/analysis/floateq"
+	"flex/internal/analysis/locksend"
+	"flex/internal/analysis/shedcheck"
+	"flex/internal/analysis/unitcheck"
+)
+
+// analyzers is the flexlint suite.
+var analyzers = []*analysis.Analyzer{
+	clockcheck.Analyzer,
+	floateq.Analyzer,
+	locksend.Analyzer,
+	shedcheck.Analyzer,
+	unitcheck.Analyzer,
+}
+
+// floateqScope confines floateq to the numeric packages, where epsilon
+// comparison is mandatory for simplex / branch-and-bound / load-flow
+// correctness. Exact comparison elsewhere (e.g. a tie-break on two copies
+// of the same measurement) is left to review. Paths are relative to the
+// module root.
+var floateqScope = []string{
+	"internal/lp",
+	"internal/milp",
+	"internal/power",
+	"internal/feasibility",
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: flexlint [-list] [-only name,...] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the Flex correctness analyzers. Packages default to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	suite := analyzers
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flexlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	n, err := lint(suite, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// lint loads the patterns, runs the suite, prints findings, and returns
+// the finding count.
+func lint(suite []*analysis.Analyzer, patterns []string) (int, error) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	modulePath := loader.ModulePath()
+	scope := func(a *analysis.Analyzer, pkgPath string) bool {
+		if a.Name != floateq.Analyzer.Name {
+			return true
+		}
+		for _, p := range floateqScope {
+			full := modulePath + "/" + p
+			if pkgPath == full || strings.HasPrefix(pkgPath, full+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, suite, scope)
+	if err != nil {
+		return 0, err
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		fmt.Println(analysis.Format(loader.Fset, cwd, f))
+	}
+	return len(findings), nil
+}

@@ -18,6 +18,10 @@ import (
 )
 
 func main() {
+	// One wall clock for the whole pipeline; swap in clock.NewVirtual to
+	// run the same scenario deterministically.
+	clk := clock.Real{}
+
 	// Ground truth: one UPS ramping from 1.0 to 1.3MW.
 	var milliwatts atomic.Int64
 	milliwatts.Store(1.0e9)
@@ -45,10 +49,10 @@ func main() {
 	for i := 0; i < 2; i++ {
 		var pubs []telemetry.SamplePublisher
 		for _, addr := range addrs {
-			pubs = append(pubs, telemetry.NewRemotePublisher(addr))
+			pubs = append(pubs, telemetry.NewRemotePublisher(addr, clk))
 		}
 		pollers = append(pollers, telemetry.NewPoller(
-			fmt.Sprintf("poller-%c", 'A'+i), clock.Real{}, 100*time.Millisecond,
+			fmt.Sprintf("poller-%c", 'A'+i), clk, 100*time.Millisecond,
 			pubs, []telemetry.Target{{Meter: meter, Topic: telemetry.TopicUPS}}))
 	}
 
@@ -73,12 +77,12 @@ func main() {
 		for _, p := range pollers {
 			p.PollOnce()
 		}
-		time.Sleep(150 * time.Millisecond)
+		clk.Sleep(150 * time.Millisecond)
 	}
 	show := func(label string) {
 		v, at, ok := view.Get("UPS-1")
 		fmt.Printf("%-34s view=%v (ok=%v, measured %s ago)\n",
-			label, v, ok, time.Since(at).Truncate(time.Millisecond))
+			label, v, ok, clk.Now().Sub(at).Truncate(time.Millisecond))
 	}
 
 	poll()

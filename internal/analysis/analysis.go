@@ -1,0 +1,109 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis surface that flexlint's analyzers
+// need. The repository deliberately has zero external dependencies, so the
+// framework — Analyzer, Pass, Diagnostic, a module-aware source loader,
+// and a diagnostic runner — lives here instead of importing x/tools.
+//
+// The API mirrors x/tools closely enough that an analyzer written against
+// this package ports to the upstream framework (and back) mechanically:
+// an Analyzer has a Name, a Doc string, and a Run function that receives a
+// Pass holding the parsed files and full type information for one package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the flexlint
+	// command line. By convention it is a single lowercase word.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics are delivered
+	// through pass.Report / pass.Reportf; the returned value is unused by
+	// flexlint but kept for x/tools API parity.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between one analyzer and one package being
+// analyzed. The driver constructs a fresh Pass per (analyzer, package).
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver sets it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Category: p.Analyzer.Name})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message describes the problem and, where possible, the fix.
+	Message string
+	// Category is the reporting analyzer's name.
+	Category string
+}
+
+// PkgFunc resolves a called expression to the fully qualified name of a
+// package-level function, e.g. "time.Now" — or "" when the call is not a
+// direct package-level call. It is the helper clockcheck and locksend use
+// to match calls like time.Sleep regardless of import aliasing.
+func PkgFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path() + "." + sel.Sel.Name
+}
+
+// MethodRecv resolves a called expression to the method's receiver type
+// string and method name, e.g. ("*sync.Mutex", "Lock"). The receiver
+// string uses types.Type.String() of the method's declared receiver, so
+// promoted methods of embedded fields resolve to the embedded type. ok is
+// false when the call is not a method call.
+func MethodRecv(info *types.Info, call *ast.CallExpr) (recv string, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, isSelection := info.Selections[sel]
+	if !isSelection || (selection.Kind() != types.MethodVal && selection.Kind() != types.MethodExpr) {
+		return "", "", false
+	}
+	fn, isFunc := selection.Obj().(*types.Func)
+	if !isFunc {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	return sig.Recv().Type().String(), fn.Name(), true
+}

@@ -1,0 +1,171 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flex/internal/analysis"
+)
+
+// writeModule lays out a small two-package module for loader tests.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"util/util.go": `package util
+
+import "time"
+
+func Stamp() time.Time { return time.Time{} }
+`,
+		"app/app.go": `package app
+
+import "example.com/mod/util"
+
+func Bad() { _ = util.Stamp() }
+`,
+		"app/app_test.go": `package app
+
+func helperOnlyInTests() {}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(old) })
+}
+
+func TestLoaderLoadsModulePackagesWithTypes(t *testing.T) {
+	dir := writeModule(t)
+	chdir(t, dir)
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loader.ModulePath(); got != "example.com/mod" {
+		t.Fatalf("module path = %q", got)
+	}
+	pkgs, err := loader.LoadPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	if pkgs[0].Path != "example.com/mod/app" || pkgs[1].Path != "example.com/mod/util" {
+		t.Fatalf("paths = %s, %s", pkgs[0].Path, pkgs[1].Path)
+	}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.TypesInfo == nil || len(pkg.Files) == 0 {
+			t.Fatalf("package %s missing type information", pkg.Path)
+		}
+	}
+	// Test files are excluded by default.
+	for _, f := range pkgs[0].Files {
+		if strings.HasSuffix(loader.Fset.Position(f.Pos()).Filename, "_test.go") {
+			t.Fatalf("loader included a test file without IncludeTests")
+		}
+	}
+}
+
+func TestLoaderIncludeTests(t *testing.T) {
+	dir := writeModule(t)
+	chdir(t, dir)
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = true
+	pkg, err := loader.LoadImport("example.com/mod/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("got %d files, want 2 (source + test)", len(pkg.Files))
+	}
+}
+
+func TestRunReportsSortedFindingsAndScope(t *testing.T) {
+	dir := writeModule(t)
+	chdir(t, dir)
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcFinder := &analysis.Analyzer{
+		Name: "funcfinder",
+		Doc:  "reports every function declaration",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					if fn, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "func %s", fn.Name.Name)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{funcFinder}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2", len(findings))
+	}
+	if findings[0].Message != "func Bad" || findings[1].Message != "func Stamp" {
+		t.Fatalf("messages = %q, %q", findings[0].Message, findings[1].Message)
+	}
+	out := analysis.Format(loader.Fset, dir, findings[0])
+	if !strings.HasPrefix(out, filepath.Join("app", "app.go")+":") || !strings.Contains(out, "[funcfinder]") {
+		t.Fatalf("formatted finding = %q", out)
+	}
+
+	// Scoping to util drops the app finding.
+	scoped, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{funcFinder},
+		func(a *analysis.Analyzer, pkgPath string) bool { return strings.HasSuffix(pkgPath, "/util") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scoped) != 1 || scoped[0].Message != "func Stamp" {
+		t.Fatalf("scoped findings = %+v", scoped)
+	}
+}
+
+func TestLoaderRejectsOutsideModule(t *testing.T) {
+	dir := writeModule(t)
+	chdir(t, dir)
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadImport("example.com/other/pkg"); err == nil {
+		t.Fatal("expected error for a package outside the module")
+	}
+}

@@ -1,0 +1,73 @@
+// Package clockcheck forbids direct use of the wall clock. Every
+// time-dependent Flex component — the simulator, the telemetry pipeline,
+// Flex-Online controllers, the rackmgr watchdog — must take its time from
+// an injected clock.Clock so that tests and the simulator can replay the
+// UPS overload-tolerance window deterministically. A stray time.Now or
+// time.Sleep silently couples a component to wall time and breaks that
+// replay; internal/telemetry/transport.go's reconnect throttle was exactly
+// such a regression.
+//
+// The check exempts the clock package itself (clock.Real is the one place
+// allowed to touch the wall clock) and _test.go files, where wall-clock
+// deadlines around blocking operations are legitimate.
+package clockcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"flex/internal/analysis"
+)
+
+// forbidden lists the time package entry points that read or wait on the
+// wall clock. Pure constructors like time.Date or time.Unix are fine.
+var forbidden = map[string]bool{
+	"time.Now":       true,
+	"time.Sleep":     true,
+	"time.After":     true,
+	"time.AfterFunc": true,
+	"time.Tick":      true,
+	"time.NewTimer":  true,
+	"time.NewTicker": true,
+	"time.Since":     true,
+	"time.Until":     true,
+}
+
+// Analyzer is the clockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockcheck",
+	Doc: "forbid direct wall-clock use outside internal/clock\n\n" +
+		"Flex components must use the injected clock.Clock; direct time.Now/\n" +
+		"time.Sleep/time.After calls break deterministic simulation and the\n" +
+		"controller's shed-deadline tests.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if exemptPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.PkgFunc(pass.TypesInfo, call)
+			if forbidden[fn] {
+				pass.Reportf(call.Pos(), "direct %s call: use the injected clock.Clock so time is deterministic in simulation and tests", fn)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exemptPackage reports whether pkg is the injectable clock itself.
+func exemptPackage(path string) bool {
+	return path == "internal/clock" || strings.HasSuffix(path, "/internal/clock")
+}

@@ -1,0 +1,13 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/analysistest"
+	"flex/internal/analysis/clockcheck"
+)
+
+func TestClockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), clockcheck.Analyzer,
+		"a", "transport", "flex/internal/clock")
+}

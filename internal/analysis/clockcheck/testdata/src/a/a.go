@@ -1,0 +1,34 @@
+// Fixture: direct wall-clock use in an ordinary package must be flagged.
+package a
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+}
+
+func bad() {
+	now := time.Now() // want `direct time\.Now call`
+	_ = now
+	time.Sleep(time.Second)       // want `direct time\.Sleep call`
+	<-time.After(time.Second)     // want `direct time\.After call`
+	t := time.NewTimer(time.Hour) // want `direct time\.NewTimer call`
+	t.Stop()
+	k := time.NewTicker(time.Hour) // want `direct time\.NewTicker call`
+	k.Stop()
+	_ = time.Since(time.Time{}) // want `direct time\.Since call`
+	_ = time.Until(time.Time{}) // want `direct time\.Until call`
+}
+
+func good(clk Clock) {
+	now := clk.Now()
+	_ = now
+	clk.Sleep(time.Second)
+	<-clk.After(time.Second)
+	// Pure time constructors and arithmetic are fine.
+	_ = time.Date(2021, time.June, 14, 0, 0, 0, 0, time.UTC)
+	_ = 5 * time.Second
+	_ = time.Unix(0, 0)
+}

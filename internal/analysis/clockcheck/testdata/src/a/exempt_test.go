@@ -1,0 +1,16 @@
+// Fixture: _test.go files may use the wall clock for deadlines around
+// genuinely blocking operations; nothing here is flagged.
+package a
+
+import "time"
+
+func pollUntil(deadline time.Duration, cond func() bool) bool {
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}

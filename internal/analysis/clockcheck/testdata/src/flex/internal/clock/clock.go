@@ -1,0 +1,11 @@
+// Fixture: the injectable clock package itself is the one place allowed
+// to touch the wall clock; nothing here is flagged.
+package clock
+
+import "time"
+
+type Real struct{}
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }

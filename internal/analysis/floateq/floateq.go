@@ -1,0 +1,95 @@
+// Package floateq flags == and != between floating-point expressions.
+//
+// The simplex solver (internal/lp), the branch-and-bound MILP solver
+// (internal/milp), the load-flow and trip-curve models (internal/power),
+// and the feasibility analyses (internal/feasibility) all accumulate
+// rounding error; exact comparison of float64 values in those packages is
+// a correctness bug waiting to bite — a pivot that is "zero" only up to
+// 1e-16 must be treated as zero, and two utilizations that differ in the
+// last ulp must sort as equal. Compare against an epsilon (the packages'
+// eps/intEps constants) or restructure the comparison (<= 0 instead of
+// == 0) instead.
+//
+// Comparing a float expression against itself (NaN checks, x != x) is
+// permitted, as that is the one exact float comparison with a meaning.
+// flexlint scopes this analyzer to the numeric packages; _test.go files,
+// which legitimately compare against exact expected constants, are always
+// exempt.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flex/internal/analysis"
+)
+
+// Analyzer is the floateq analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag exact ==/!= comparisons of floating-point values\n\n" +
+		"Exact float comparison is unreliable after arithmetic; use an\n" +
+		"epsilon comparison or restructure the predicate.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, bin.X) && !isFloat(pass.TypesInfo, bin.Y) {
+				return true
+			}
+			if sameExpr(bin.X, bin.Y) {
+				return true // x != x is the idiomatic NaN test
+			}
+			pass.Reportf(bin.OpPos, "exact floating-point comparison (%s): use an epsilon comparison instead", bin.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFloat reports whether e's type (after following named types such as
+// power.Watts) is a floating-point or complex kind. Untyped constants
+// take their default type, so comparing a float variable with a literal
+// still counts.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Float32, types.Float64, types.Complex64, types.Complex128,
+		types.UntypedFloat, types.UntypedComplex:
+		return true
+	}
+	return false
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// identifiers or selector chains (x == x, a.b != a.b).
+func sameExpr(x, y ast.Expr) bool {
+	switch xv := x.(type) {
+	case *ast.Ident:
+		yv, ok := y.(*ast.Ident)
+		return ok && xv.Name == yv.Name
+	case *ast.SelectorExpr:
+		yv, ok := y.(*ast.SelectorExpr)
+		return ok && xv.Sel.Name == yv.Sel.Name && sameExpr(xv.X, yv.X)
+	}
+	return false
+}

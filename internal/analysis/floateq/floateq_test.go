@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/analysistest"
+	"flex/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floateq.Analyzer, "a")
+}

@@ -1,0 +1,42 @@
+// Fixture: exact float comparisons are flagged; epsilon comparisons,
+// integer comparisons, and NaN self-tests are not.
+package a
+
+import "math"
+
+// Watts mirrors power.Watts: a named float type must still be caught.
+type Watts float64
+
+const eps = 1e-9
+
+func bad(a, b float64, w, limit Watts, xs []float64) bool {
+	if a == b { // want `exact floating-point comparison \(==\)`
+		return true
+	}
+	if a != 0 { // want `exact floating-point comparison \(!=\)`
+		return true
+	}
+	if w == limit { // want `exact floating-point comparison \(==\)`
+		return true
+	}
+	if xs[0] == xs[1] { // want `exact floating-point comparison \(==\)`
+		return true
+	}
+	return float32(a) != float32(b) // want `exact floating-point comparison \(!=\)`
+}
+
+func good(a, b float64, w Watts, n, m int) bool {
+	if math.Abs(a-b) < eps { // epsilon comparison: the fix floateq asks for
+		return true
+	}
+	if a <= 0 || b >= 1 { // ordered comparisons are legitimate
+		return true
+	}
+	if a != a { // NaN self-test is the one meaningful exact comparison
+		return true
+	}
+	if n == m { // integers compare exactly
+		return true
+	}
+	return w > 0
+}

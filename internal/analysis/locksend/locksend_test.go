@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/analysistest"
+	"flex/internal/analysis/locksend"
+)
+
+func TestLocksend(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), locksend.Analyzer, "a")
+}

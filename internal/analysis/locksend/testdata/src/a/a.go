@@ -1,0 +1,107 @@
+// Fixture: blocking operations under a held mutex are flagged; the
+// drop-oldest non-blocking select, sends outside the critical section,
+// and goroutine bodies are not.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type Clock interface {
+	Sleep(d time.Duration)
+}
+
+type Broker struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	subs []chan int
+}
+
+func (b *Broker) badSend(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		ch <- v // want `channel send while mutex "b\.mu" is held`
+	}
+}
+
+func (b *Broker) badSendUnderRLock(v int) {
+	b.rw.RLock()
+	b.subs[0] <- v // want `channel send while mutex "b\.rw" is held`
+	b.rw.RUnlock()
+}
+
+func (b *Broker) badBlockingSelect(v int, done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `blocking select while mutex "b\.mu" is held`
+	case b.subs[0] <- v:
+	case <-done:
+	}
+}
+
+func (b *Broker) badReceive() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.subs[0] // want `channel receive while mutex "b\.mu" is held`
+}
+
+func (b *Broker) badSleep(clk Clock, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep may block while mutex "b\.mu" is held`
+	clk.Sleep(time.Millisecond)  // want `call to \(a\.Clock\)\.Sleep may block while mutex "b\.mu" is held`
+	wg.Wait()                    // want `call to \(\*sync\.WaitGroup\)\.Wait may block while mutex "b\.mu" is held`
+	b.mu.Unlock()
+}
+
+func (b *Broker) goodNonBlockingFanout(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select { // drop-oldest: a select with default never blocks
+		case ch <- v:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+		}
+	}
+}
+
+func (b *Broker) goodSendOutsideLock(v int) {
+	b.mu.Lock()
+	subs := make([]chan int, len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v // lock released: fine
+	}
+}
+
+func (b *Broker) goodEarlyUnlockBranch(v int, closed bool) {
+	b.mu.Lock()
+	if closed {
+		b.mu.Unlock()
+		b.subs[0] <- v // unlocked on this path: fine
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *Broker) goodGoroutineDoesNotInherit(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.subs[0] <- v // runs on its own goroutine without the lock
+	}()
+}
+
+func (b *Broker) badIIFE(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	func() {
+		b.subs[0] <- v // want `channel send while mutex "b\.mu" is held`
+	}()
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// Finding pairs a diagnostic with the package it was found in.
+type Finding struct {
+	Pkg *Package
+	Diagnostic
+}
+
+// Position resolves the finding's location.
+func (f Finding) Position(fset *token.FileSet) token.Position {
+	return fset.Position(f.Pos)
+}
+
+// Scope decides whether an analyzer applies to a package; a nil Scope
+// applies every analyzer everywhere. flexlint uses it to confine floateq
+// to the numeric packages.
+type Scope func(a *Analyzer, pkgPath string) bool
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file, line, column, and analyzer name.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if scope != nil && !scope(a, pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			p := pkg
+			pass.Report = func(d Diagnostic) {
+				if d.Category == "" {
+					d.Category = a.Name
+				}
+				findings = append(findings, Finding{Pkg: p, Diagnostic: d})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := fset.Position(findings[i].Pos), fset.Position(findings[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return findings[i].Category < findings[j].Category
+	})
+	return findings, nil
+}
+
+// Format renders one finding as "path:line:col: message [analyzer]", with
+// the path made relative to baseDir when possible.
+func Format(fset *token.FileSet, baseDir string, f Finding) string {
+	pos := fset.Position(f.Pos)
+	name := pos.Filename
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, name); err == nil && !filepath.IsAbs(rel) {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", name, pos.Line, pos.Column, f.Message, f.Category)
+}

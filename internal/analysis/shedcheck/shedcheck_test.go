@@ -1,0 +1,12 @@
+package shedcheck_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/analysistest"
+	"flex/internal/analysis/shedcheck"
+)
+
+func TestShedcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), shedcheck.Analyzer, "a")
+}

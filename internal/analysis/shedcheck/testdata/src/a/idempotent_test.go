@@ -1,0 +1,9 @@
+// Fixture: tests discard actuation errors deliberately (idempotency
+// checks); _test.go files are exempt.
+package a
+
+func exerciseIdempotency(a Actuator) {
+	_ = a.Shutdown("r1")
+	a.Shutdown("r1")
+	_ = a.Restore("r1")
+}

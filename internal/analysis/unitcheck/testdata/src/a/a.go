@@ -1,0 +1,41 @@
+// Fixture: arithmetic mixing conflicting power-unit suffixes is flagged;
+// explicit conversions, same-unit arithmetic, and multiplicative
+// combinations are not.
+package a
+
+type Config struct {
+	BudgetMW  float64
+	PerRackKW float64
+}
+
+func bad(loadKW, totalMW, drawWatts, energyKWh float64, cfg Config) float64 {
+	sum := loadKW + totalMW // want `"\+" mixes units kW and MW`
+	if loadKW > drawWatts { // want `">" mixes units kW and W`
+		sum++
+	}
+	if drawWatts == totalMW { // want `"==" mixes units W and MW`
+		sum++
+	}
+	if loadKW != energyKWh { // want `"!=" mixes units kW and kWh`
+		sum++
+	}
+	sum -= cfg.BudgetMW - cfg.PerRackKW // want `"-" mixes units MW and kW`
+	rackKW := loadKW
+	rackKW -= totalMW   // want `"-=" mixes units kW and MW`
+	rackKW += drawWatts // want `"\+=" mixes units kW and W`
+	return sum + rackKW
+}
+
+func good(loadKW, otherKW, totalMW, drawWatts, hours, price float64) float64 {
+	sum := loadKW + otherKW        // same unit
+	sum += totalMW*1000 - loadKW   // explicit conversion silences the check
+	sum += loadKW - drawWatts/1000 // explicit conversion on either side
+	energy := loadKW * hours       // multiplication combines units legitimately
+	cost := energy * price         // no unit suffix on either side
+	ratio := drawWatts / drawWatts // division never flagged
+	watts := loadKW                // renaming through a variable is out of scope
+	if watts > totalMW {
+		sum++
+	}
+	return sum + cost + ratio
+}

@@ -1,0 +1,120 @@
+// Package unitcheck flags arithmetic that mixes identifiers carrying
+// conflicting power-unit suffixes without an explicit conversion.
+//
+// All power quantities in this repository are expressed in watts
+// (power.Watts), but code at the boundaries — trace ingestion, report
+// rendering, config parsing — names values after the unit they carry:
+// powerKW, budgetMW, energyKWh, perRackWatts. Adding or comparing a *KW
+// identifier directly to a *MW or *Watts one is the classic
+// kilowatts-vs-watts bug: the load-flow result is silently off by three
+// orders of magnitude and every downstream safety decision inherits the
+// corruption.
+//
+// The check fires on additive and comparison operators (+, -, <, <=, >,
+// >=, ==, !=, +=, -=) whose two operands are bare identifiers (or
+// selector chains) with conflicting unit suffixes. Wrapping either side
+// in any arithmetic — wattsTotal/1000, kwLoad*1000 — counts as an
+// explicit conversion and silences the check, as does mixing via an
+// intermediate variable. Multiplication and division are never flagged:
+// they legitimately combine different units (power × price, energy ÷
+// time).
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"flex/internal/analysis"
+)
+
+// Analyzer is the unitcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc: "flag arithmetic mixing conflicting power-unit suffixes\n\n" +
+		"Identifiers suffixed KW/MW/Watts/KWh must not be added or compared\n" +
+		"directly to identifiers of a different unit; convert explicitly.",
+	Run: run,
+}
+
+// unitSuffixes maps recognized identifier suffixes to a canonical unit,
+// longest-suffix-first at match time so KWh does not read as W-with-junk.
+var unitSuffixes = []struct{ suffix, unit string }{
+	{"KWh", "kWh"}, {"kWh", "kWh"}, {"Kwh", "kWh"},
+	{"MWh", "MWh"}, {"mWh", "MWh"},
+	{"GWh", "GWh"},
+	{"Watts", "W"},
+	{"KW", "kW"}, {"kW", "kW"}, {"Kw", "kW"},
+	{"MW", "MW"},
+	{"GW", "GW"},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch expr := n.(type) {
+			case *ast.BinaryExpr:
+				if additiveOrComparison(expr.Op) {
+					check(pass, expr.OpPos, expr.Op.String(), expr.X, expr.Y)
+				}
+			case *ast.AssignStmt:
+				if (expr.Tok == token.ADD_ASSIGN || expr.Tok == token.SUB_ASSIGN) && len(expr.Lhs) == 1 && len(expr.Rhs) == 1 {
+					check(pass, expr.TokPos, expr.Tok.String(), expr.Lhs[0], expr.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func additiveOrComparison(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func check(pass *analysis.Pass, pos token.Pos, op string, x, y ast.Expr) {
+	ux, okx := unitOf(x)
+	uy, oky := unitOf(y)
+	if !okx || !oky || ux == uy {
+		return
+	}
+	pass.Reportf(pos, "%q mixes units %s and %s without an explicit conversion", op, ux, uy)
+}
+
+// unitOf extracts the unit a bare identifier or selector carries from its
+// name's suffix. Compound expressions return ok=false — any arithmetic
+// around an operand is taken as a deliberate conversion.
+func unitOf(e ast.Expr) (string, bool) {
+	var name string
+	switch v := e.(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	default:
+		return "", false
+	}
+	for _, s := range unitSuffixes {
+		if name == s.suffix {
+			return s.unit, true
+		}
+		if rest, ok := strings.CutSuffix(name, s.suffix); ok {
+			// The character before the suffix must end a word (lowercase
+			// letter, digit, or underscore) so that e.g. "DrawKW" matches
+			// but an all-caps acronym like "HW" does not misparse.
+			last := rest[len(rest)-1]
+			if last == '_' || (last >= 'a' && last <= 'z') || (last >= '0' && last <= '9') {
+				return s.unit, true
+			}
+		}
+	}
+	return "", false
+}

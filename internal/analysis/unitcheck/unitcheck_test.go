@@ -1,0 +1,12 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/analysistest"
+	"flex/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), unitcheck.Analyzer, "a")
+}

@@ -69,14 +69,16 @@ func (v *Virtual) Sleep(d time.Duration) {
 
 // After implements Clock.
 func (v *Virtual) After(d time.Duration) <-chan time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	ch := make(chan time.Time, 1)
+	v.mu.Lock()
 	if d <= 0 {
-		ch <- v.now
+		now := v.now
+		v.mu.Unlock()
+		ch <- now
 		return ch
 	}
 	v.waiters = append(v.waiters, &waiter{deadline: v.now.Add(d), ch: ch})
+	v.mu.Unlock()
 	return ch
 }
 

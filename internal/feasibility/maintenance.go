@@ -2,8 +2,13 @@ package feasibility
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
+
+// utilEps is the tolerance below which two utilization fractions are
+// considered equal when ordering maintenance windows.
+const utilEps = 1e-9
 
 // MaintenanceWindow is a stretch of hours whose utilization stays below a
 // threshold — where planned maintenance can run without ever engaging
@@ -90,8 +95,11 @@ func FindMaintenanceWindows(hourlyUtil []float64, minHours int, threshold float6
 		}
 	}
 	sort.Slice(windows, func(a, b int) bool {
-		if windows[a].PeakUtilization != windows[b].PeakUtilization {
-			return windows[a].PeakUtilization < windows[b].PeakUtilization
+		// Near-equal peaks (within utilEps) tie-break on start hour so the
+		// ordering is stable under float noise in the utilization profile.
+		pa, pb := windows[a].PeakUtilization, windows[b].PeakUtilization
+		if math.Abs(pa-pb) > utilEps {
+			return pa < pb
 		}
 		return windows[a].StartHour < windows[b].StartHour
 	})

@@ -71,7 +71,7 @@ func (t *Topology) loadsWithFailures(load PairLoad, failed []bool) (loads []Watt
 	loads = make([]Watts, len(t.UPSes))
 	for _, p := range t.Pairs {
 		w := load.at(p.ID)
-		if w == 0 {
+		if w <= 0 {
 			continue
 		}
 		a, b := p.UPSes[0], p.UPSes[1]

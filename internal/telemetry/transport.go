@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"flex/internal/clock"
 )
 
 // SamplePublisher is anything samples can be published to: an in-process
@@ -140,6 +142,7 @@ func (s *BrokerServer) Close() {
 // what masks it.
 type RemotePublisher struct {
 	addr string
+	clk  clock.Clock
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -150,9 +153,14 @@ type RemotePublisher struct {
 }
 
 // NewRemotePublisher creates a publisher for the server at addr. The
-// connection is established lazily on first Publish.
-func NewRemotePublisher(addr string) *RemotePublisher {
-	return &RemotePublisher{addr: addr, RetryInterval: time.Second}
+// connection is established lazily on first Publish. The retry throttle
+// reads clk, so tests can drive reconnection deterministically with a
+// clock.Virtual; a nil clk falls back to the wall clock.
+func NewRemotePublisher(addr string, clk clock.Clock) *RemotePublisher {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &RemotePublisher{addr: addr, clk: clk, RetryInterval: time.Second}
 }
 
 // Publish implements SamplePublisher.
@@ -174,7 +182,7 @@ func (p *RemotePublisher) Publish(topic string, s Sample) {
 }
 
 func (p *RemotePublisher) reconnectLocked() bool {
-	now := time.Now()
+	now := p.clk.Now()
 	if now.Sub(p.lastRetry) < p.RetryInterval {
 		return false
 	}

@@ -44,7 +44,7 @@ func TestTransportPublishSubscribe(t *testing.T) {
 	}
 	defer sub.Close()
 
-	pub := NewRemotePublisher(addr)
+	pub := NewRemotePublisher(addr, nil)
 	defer pub.Close()
 	want := Sample{Device: "UPS-1", Power: 1.2 * power.MW, Valid: true,
 		MeasuredAt: time.Unix(100, 0).UTC(), Poller: "p1", Seq: 7}
@@ -98,7 +98,7 @@ func TestTransportPollerOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub := NewRemotePublisher(addr)
+	pub := NewRemotePublisher(addr, nil)
 	defer pub.Close()
 	p := NewPoller("p1", clk, time.Second, []SamplePublisher{pub},
 		[]Target{{Meter: lm, Topic: TopicUPS}})
@@ -125,7 +125,7 @@ func TestTransportPollerOverTCP(t *testing.T) {
 
 func TestTransportPublisherSurvivesServerBounce(t *testing.T) {
 	srv1, addr := startServer(t)
-	pub := NewRemotePublisher(addr)
+	pub := NewRemotePublisher(addr, nil)
 	pub.RetryInterval = time.Millisecond
 	defer pub.Close()
 	pub.Publish(TopicUPS, Sample{Device: "d", Valid: true}) // connects
@@ -138,7 +138,7 @@ func TestTransportPublisherSurvivesServerBounce(t *testing.T) {
 	// to the old address, so this documents best-effort semantics: a
 	// fresh publisher is needed for a relocated broker.
 	_, addr2 := startServer(t)
-	pub2 := NewRemotePublisher(addr2)
+	pub2 := NewRemotePublisher(addr2, nil)
 	defer pub2.Close()
 	sub, err := RemoteSubscribe(addr2, TopicUPS)
 	if err != nil {
@@ -185,11 +185,31 @@ func TestTransportSubscriptionClosesOnServerClose(t *testing.T) {
 	}
 }
 
+func TestTransportRetryThrottleUsesInjectedClock(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1000, 0))
+	pub := NewRemotePublisher("127.0.0.1:1", clk)
+	defer pub.Close()
+	pub.Publish(TopicUPS, Sample{}) // dial fails, stamps lastRetry
+	if got := pub.lastRetry; !got.Equal(clk.Now()) {
+		t.Fatalf("lastRetry = %v, want %v", got, clk.Now())
+	}
+	first := pub.lastRetry
+	pub.Publish(TopicUPS, Sample{}) // within RetryInterval: throttled
+	if !pub.lastRetry.Equal(first) {
+		t.Fatal("retry was not throttled within RetryInterval")
+	}
+	clk.Advance(2 * pub.RetryInterval)
+	pub.Publish(TopicUPS, Sample{}) // past the interval: retried
+	if pub.lastRetry.Equal(first) {
+		t.Fatal("retry did not fire after the clock advanced")
+	}
+}
+
 func TestTransportRejectsUnreachableAddress(t *testing.T) {
 	if _, err := RemoteSubscribe("127.0.0.1:1", TopicUPS); err == nil {
 		t.Fatal("expected dial error")
 	}
-	pub := NewRemotePublisher("127.0.0.1:1")
+	pub := NewRemotePublisher("127.0.0.1:1", nil)
 	defer pub.Close()
 	pub.Publish(TopicUPS, Sample{}) // must not panic
 }
