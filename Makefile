@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench fuzz examples ci clean
+.PHONY: all build vet lint test race cover bench figures fuzz examples ci clean
 
 all: build vet lint test
 
@@ -25,15 +25,26 @@ race:
 	$(GO) test -race ./...
 
 # What CI runs (.github/workflows/ci.yml): the full gate plus a race pass
-# over the concurrent packages.
+# over the concurrent packages and a flexmon smoke run with the
+# observability surface enabled.
 ci: build vet lint test
 	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/...
+	$(GO) run ./cmd/flexmon -quick -metrics -listen 127.0.0.1:0
 
 cover:
 	$(GO) test -cover ./...
 
-# Regenerates every figure/result of the paper's evaluation.
+# Records a performance baseline: one iteration of every benchmark,
+# parsed into benchstat-reconstructable JSON (cmd/benchjson). Compare a
+# later run with:
+#   go test -run '^$$' -bench . -benchmem -benchtime 1x . > new.txt
+#   $(GO) run ./cmd/benchjson -restore BENCH_baseline.json | benchstat /dev/stdin new.txt
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+	@echo wrote BENCH_baseline.json
+
+# Regenerates every figure/result of the paper's evaluation.
+figures:
 	$(GO) test -bench=. -benchmem ./...
 
 fuzz:

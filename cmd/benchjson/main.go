@@ -1,0 +1,163 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// baseline (see `make bench`, which writes BENCH_baseline.json). Every
+// parsed record keeps its raw result line, so the original benchstat input
+// can be reconstructed exactly:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_baseline.json
+//	benchjson -restore BENCH_baseline.json | benchstat old.txt /dev/stdin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the file layout of BENCH_baseline.json.
+type Baseline struct {
+	// Env holds the `key: value` header lines (goos, goarch, pkg, cpu).
+	Env map[string]string `json:"env"`
+	// Benchmarks holds one record per result line, in input order.
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Record is one benchmark result line.
+type Record struct {
+	// Name is the benchmark name including the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value (ns/op, B/op, allocs/op, custom units).
+	Metrics map[string]float64 `json:"metrics"`
+	// Raw is the verbatim result line, for benchstat reconstruction.
+	Raw string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	restore := flag.String("restore", "", "read a baseline JSON file and print the original benchmark text")
+	flag.Parse()
+
+	if *restore != "" {
+		if err := restoreText(*restore, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	b, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output. Header lines ("goos: linux")
+// land in Env; "Benchmark..." lines become Records; everything else (PASS,
+// ok, test logs) is ignored.
+func parse(r io.Reader) (*Baseline, error) {
+	b := &Baseline{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rec, ok := parseResultLine(line); ok {
+			b.Benchmarks = append(b.Benchmarks, rec)
+			continue
+		}
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				b.Env[key] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return b, nil
+}
+
+// parseResultLine parses "BenchmarkX-8   100   123 ns/op   4 B/op ..." —
+// the name, the iteration count, then (value, unit) pairs.
+func parseResultLine(line string) (Record, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Record{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+		Raw:        line,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}
+
+// restoreText re-emits the benchmark text benchstat consumes.
+func restoreText(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return err
+	}
+	for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if v, ok := b.Env[key]; ok {
+			if _, err := fmt.Fprintf(w, "%s: %s\n", key, v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rec := range b.Benchmarks {
+		if _, err := fmt.Fprintln(w, rec.Raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}

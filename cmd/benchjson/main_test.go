@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: flex
+cpu: Intel(R) Xeon(R)
+BenchmarkFigure6_UPSToleranceCurve-8   	     100	     11917 ns/op	     432 B/op	       9 allocs/op
+BenchmarkFigure9_StrandedPower-8       	       1	1234567890 ns/op	       3.210 stranded_pct
+PASS
+ok  	flex	12.345s
+`
+
+func TestParseAndRestoreRoundTrip(t *testing.T) {
+	b, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Env["goos"] != "linux" || b.Env["pkg"] != "flex" {
+		t.Errorf("env parsed wrong: %v", b.Env)
+	}
+	if len(b.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(b.Benchmarks))
+	}
+	r0 := b.Benchmarks[0]
+	if r0.Name != "BenchmarkFigure6_UPSToleranceCurve-8" || r0.Iterations != 100 {
+		t.Errorf("record 0: %+v", r0)
+	}
+	if r0.Metrics["ns/op"] != 11917 || r0.Metrics["allocs/op"] != 9 {
+		t.Errorf("record 0 metrics: %v", r0.Metrics)
+	}
+	if b.Benchmarks[1].Metrics["stranded_pct"] != 3.210 {
+		t.Errorf("custom unit lost: %v", b.Benchmarks[1].Metrics)
+	}
+
+	// Restore must reproduce the header and raw result lines verbatim.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := restoreText(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"goos: linux",
+		"BenchmarkFigure6_UPSToleranceCurve-8   \t     100\t     11917 ns/op\t     432 B/op\t       9 allocs/op",
+		"stranded_pct",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("restored text missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok flex 1s\n")); err == nil {
+		t.Fatal("expected error for input without benchmark lines")
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	in := sample + "BenchmarkBroken-8 notanumber ns/op\n"
+	b, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 2 {
+		t.Fatalf("malformed line was parsed: %d records", len(b.Benchmarks))
+	}
+}

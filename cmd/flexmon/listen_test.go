@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"flex/internal/obs"
+)
+
+// TestListenServesValidPrometheus drives `flexmon -quick -listen 127.0.0.1:0`
+// and scrapes /metrics while the run is live. The io.Pipe keeps run()
+// blocked on its own output after the listen line, so the server is
+// guaranteed to still be up when the scrape happens.
+func TestListenServesValidPrometheus(t *testing.T) {
+	pr, pw := io.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		err := run([]string{"-quick", "-metrics", "-listen", "127.0.0.1:0"}, pw)
+		_ = pw.CloseWithError(err)
+		errCh <- err
+	}()
+
+	br := bufio.NewReader(pr)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const prefix = "obs: listening on http://"
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("first line %q, want prefix %q", line, prefix)
+	}
+	addr := strings.Fields(strings.TrimPrefix(strings.TrimSpace(line), prefix))[0]
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading /metrics body: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	if err := obs.ValidatePrometheus(bytes.NewReader(body)); err != nil {
+		t.Errorf("/metrics is not valid Prometheus text: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "flex_up 1") {
+		t.Errorf("/metrics missing flex_up gauge:\n%s", body)
+	}
+
+	// Drain the rest of the run and make sure it succeeded end to end.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("draining output: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := string(rest)
+	for _, want := range []string{
+		"cascading outage:                    false",
+		"metrics summary:",
+		"flex_controller_shed_latency_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

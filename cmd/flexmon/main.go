@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	flexmon [-util F] [-scenario NAME] [-csv] [-quick]
+//	flexmon [-util F] [-scenario NAME] [-csv] [-quick] [-metrics] [-listen ADDR]
+//
+// With -listen the run exposes a live introspection surface (/metrics,
+// /debug/vars, /debug/pprof, /traces) for the duration of the emulation.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"time"
 
 	"flex"
+	"flex/internal/obs"
 	"flex/internal/report"
 )
 
@@ -34,6 +38,8 @@ func run(args []string, out io.Writer) error {
 	csv := fs.Bool("csv", false, "print the full timeline as CSV")
 	quick := fs.Bool("quick", false, "compressed timeline (fail @4min, 10min total)")
 	seed := fs.Int64("seed", 1, "random seed")
+	metrics := fs.Bool("metrics", false, "print a metrics summary CSV after the run")
+	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof, /traces on this address during the run (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,7 +58,21 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 
-	cfg := flex.EmulationConfig{Utilization: *util, Scenario: &sc, Seed: *seed}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	// A metric that exists before the emulation starts, so /metrics is
+	// never empty for an early scraper.
+	reg.Gauge("flex_up", "1 while the process is running").Set(1)
+	if *listen != "" {
+		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg, Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof /traces)\n", addr)
+	}
+
+	cfg := flex.EmulationConfig{Utilization: *util, Scenario: &sc, Seed: *seed, Obs: reg, Tracer: tracer}
 	if *quick {
 		cfg.Tick = time.Second
 		cfg.FailAt = 4 * time.Minute
@@ -85,6 +105,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  all racks restored after recovery:   %v\n", res.RestoredAll)
 	if res.Insufficient {
 		fmt.Fprintln(out, "  WARNING: Algorithm 1 ran out of shaveable racks")
+	}
+	if *metrics {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "metrics summary:")
+		if err := report.WriteMetricsSummary(out, reg); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 
 	"flex"
+	"flex/internal/milp"
+	"flex/internal/obs"
 	"flex/internal/report"
 )
 
@@ -31,13 +33,25 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	samples := fs.Int("samples", 3, "power snapshots per (failure, utilization)")
 	csvDir := fs.String("csvdir", "", "also write results as CSV files into this directory")
+	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	reg := obs.NewRegistry()
+	reg.Gauge("flex_up", "1 while the process is running").Set(1)
+	if *listen != "" {
+		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof)\n", addr)
+	}
+
 	switch *experiment {
 	case "fig12":
-		return runFigure12(out, *seed, *samples, *csvDir)
+		return runFigure12(out, *seed, *samples, *csvDir, milp.NewMetrics(reg))
 	case "feasibility":
 		return runFeasibility(out)
 	case "montecarlo":
@@ -51,7 +65,7 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runFigure12(out io.Writer, seed int64, samples int, csvDir string) error {
+func runFigure12(out io.Writer, seed int64, samples int, csvDir string, sm *milp.Metrics) error {
 	room := flex.PaperRoom()
 	trace, err := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), seed)
 	if err != nil {
@@ -59,6 +73,7 @@ func runFigure12(out io.Writer, seed int64, samples int, csvDir string) error {
 	}
 	pol := flex.FlexOfflineShort()
 	pol.MaxNodes = 300
+	pol.SolverMetrics = sm
 	pl, err := pol.Place(room, trace)
 	if err != nil {
 		return err

@@ -8,5 +8,5 @@ import (
 )
 
 func TestShedcheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), shedcheck.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(t), shedcheck.Analyzer, "a", "obswrap")
 }

@@ -1,0 +1,70 @@
+// Fixture: instrumented wrappers around shed-critical calls. Adding a
+// metrics counter next to a Publish/Throttle/Shutdown call must not become
+// an excuse to swallow its error — incrementing a failure counter alone
+// still hides the failed actuation from the caller.
+package obswrap
+
+import "errors"
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Metrics struct {
+	Attempts *Counter
+	Failures *Counter
+}
+
+type Actuator struct{}
+
+func (Actuator) Shutdown(rack string) error               { return errors.New("unreachable") }
+func (Actuator) Throttle(rack string, capW float64) error { return errors.New("unreachable") }
+
+type Publisher struct{}
+
+func (Publisher) Publish(topic string, v float64) error { return nil }
+
+// InstrumentedActuator mirrors rackmgr.Manager: it wraps actuation with
+// attempt/failure counters and must keep propagating the error.
+type InstrumentedActuator struct {
+	A Actuator
+	M *Metrics
+}
+
+// Shutdown counts and propagates — the correct wrapper shape.
+func (ia InstrumentedActuator) Shutdown(rack string) error {
+	ia.M.Attempts.Inc()
+	err := ia.A.Shutdown(rack)
+	if err != nil {
+		ia.M.Failures.Inc()
+	}
+	return err
+}
+
+// Throttle counts but swallows: the counter bump does not make the
+// discarded error acceptable.
+func (ia InstrumentedActuator) Throttle(rack string, capW float64) {
+	ia.M.Attempts.Inc()
+	ia.A.Throttle(rack, capW) // want `error from shed-critical call Throttle discarded`
+}
+
+func useWrappers(ia InstrumentedActuator, p Publisher, m *Metrics) {
+	ia.Shutdown("rack-1") // want `error from shed-critical call Shutdown discarded`
+	ia.Throttle("rack-2", 1e3)
+
+	// Counting a publish failure is fine when the error itself is consumed
+	// by the check…
+	if err := p.Publish("power/ups", 1); err != nil {
+		m.Failures.Inc()
+	}
+	// …but bumping a counter before discarding is not.
+	m.Attempts.Inc()
+	_ = p.Publish("power/ups", 2) // want `error from shed-critical call Publish assigned to _`
+}
+
+func propagate(ia InstrumentedActuator) error {
+	if err := ia.Shutdown("rack-3"); err != nil {
+		return err
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"flex/internal/clock"
 	"flex/internal/impact"
+	"flex/internal/obs"
 	"flex/internal/power"
 	"flex/internal/rackmgr"
 	"flex/internal/telemetry"
@@ -45,13 +46,22 @@ type Config struct {
 	// InactiveThreshold is the capacity fraction below which a UPS is
 	// considered out of service (default 0.02).
 	InactiveThreshold float64
+	// Metrics, when non-nil, records step outcomes and the shed-latency
+	// histograms. Multi-primary instances of one room may share an
+	// instance; the counters aggregate.
+	Metrics *Metrics
+	// Tracer, when non-nil, records a detect→plan→act trace for every
+	// round that observes an overdraw.
+	Tracer *obs.Tracer
 }
 
 // StepOutcome describes one evaluation round.
 type StepOutcome struct {
 	// Overdraw is true when some UPS exceeded limit−buffer.
 	Overdraw bool
-	// Planned actions this round (nil when no overdraw).
+	// Planned actions this round. Nil when there was no overdraw — and
+	// also on overdraw rounds that defer on stale telemetry or whose Plan
+	// call fails, so Overdraw && Planned == nil does occur.
 	Planned []PlannedAction
 	// Enforced counts successfully enforced actions.
 	Enforced int
@@ -71,6 +81,12 @@ type Controller struct {
 	acted         map[string]PlannedAction // rack → action we enforced
 	steps         int
 	lastEnforceAt time.Time
+	// overdrawSince is when the current overdraw episode was first seen
+	// (zero when no episode is open); episodeActed records whether this
+	// instance enforced anything during it. Together they drive the
+	// first-action and shed-latency histograms.
+	overdrawSince time.Time
+	episodeActed  bool
 }
 
 // New creates a controller.
@@ -117,7 +133,14 @@ func (c *Controller) snapshotUPS() ([]power.Watts, time.Time) {
 // Step runs one evaluation round: read snapshots, detect overdraw, plan
 // and enforce corrective actions; or, when the failed supply has returned
 // and headroom allows, restore previously acted racks.
-func (c *Controller) Step() StepOutcome {
+func (c *Controller) Step() (out StepOutcome) {
+	defer func() { c.cfg.Metrics.recordStep(&out) }()
+
+	var stepStart time.Time
+	if c.cfg.Tracer != nil {
+		stepStart = c.cfg.Clock.Now()
+	}
+
 	c.mu.Lock()
 	c.steps++
 	acted := make(map[string]bool, len(c.acted))
@@ -135,7 +158,6 @@ func (c *Controller) Step() StepOutcome {
 		rackPower = c.cfg.RackView.Snapshot()
 	}
 
-	out := StepOutcome{}
 	over := false
 	for u := range c.cfg.Topo.UPSes {
 		if inactive[power.UPSID(u)] {
@@ -149,6 +171,21 @@ func (c *Controller) Step() StepOutcome {
 
 	if over {
 		out.Overdraw = true
+		now := c.cfg.Clock.Now()
+		c.mu.Lock()
+		if c.overdrawSince.IsZero() {
+			c.overdrawSince = now
+			c.episodeActed = false
+			c.mu.Unlock()
+			c.cfg.Metrics.incEpisode()
+		} else {
+			c.mu.Unlock()
+		}
+		var tr *obs.Trace
+		if c.cfg.Tracer != nil {
+			tr = c.cfg.Tracer.Start("flex-online/"+c.cfg.Name, stepStart)
+			tr.Span("detect", stepStart, now)
+		}
 		// Do not pile further actions onto a snapshot that predates our
 		// last enforcement: the measurements do not yet reflect the power
 		// already shed, and re-planning on them overcorrects far beyond
@@ -159,6 +196,11 @@ func (c *Controller) Step() StepOutcome {
 		stale := len(c.acted) > 0 && !measuredAt.After(c.lastEnforceAt)
 		c.mu.Unlock()
 		if stale {
+			c.cfg.Metrics.incStaleSkip()
+			if tr != nil {
+				tr.SetNote("stale-skip")
+				tr.Finish(now)
+			}
 			return out
 		}
 		actions, insufficient, err := Plan(PlanInput{
@@ -171,7 +213,17 @@ func (c *Controller) Step() StepOutcome {
 			Buffer:    c.cfg.Buffer,
 			Acted:     acted,
 		})
+		var planEnd time.Time
+		if tr != nil {
+			planEnd = c.cfg.Clock.Now()
+			tr.Span("plan", now, planEnd)
+		}
 		if err != nil {
+			c.cfg.Metrics.incPlanError()
+			if tr != nil {
+				tr.SetNote("plan-error")
+				tr.Finish(planEnd)
+			}
 			return out
 		}
 		out.Planned = actions
@@ -189,12 +241,41 @@ func (c *Controller) Step() StepOutcome {
 				continue
 			}
 			out.Enforced++
+			enforcedAt := c.cfg.Clock.Now()
 			c.mu.Lock()
 			c.acted[a.Rack] = a
-			c.lastEnforceAt = c.cfg.Clock.Now()
+			c.lastEnforceAt = enforcedAt
+			first := !c.episodeActed
+			c.episodeActed = true
+			since := c.overdrawSince
 			c.mu.Unlock()
+			if first {
+				c.cfg.Metrics.observeFirstAction(enforcedAt.Sub(since))
+			}
+		}
+		if tr != nil {
+			actEnd := c.cfg.Clock.Now()
+			tr.Span("act", planEnd, actEnd)
+			if out.Insufficient {
+				tr.SetNote("insufficient")
+			}
+			tr.Finish(actEnd)
 		}
 		return out
+	}
+
+	// No overdraw: close any open episode and record how long detection to
+	// the final enforcement took — the latency that must fit the 10s UPS
+	// overload tolerance.
+	c.mu.Lock()
+	since := c.overdrawSince
+	episodeActed := c.episodeActed
+	last := c.lastEnforceAt
+	c.overdrawSince = time.Time{}
+	c.episodeActed = false
+	c.mu.Unlock()
+	if !since.IsZero() && episodeActed && !last.Before(since) {
+		c.cfg.Metrics.observeShed(last.Sub(since))
 	}
 
 	// Recovery: when no UPS is inactive, restore as many acted racks as

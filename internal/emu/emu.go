@@ -16,6 +16,8 @@ import (
 	"flex/internal/clock"
 	"flex/internal/controller"
 	"flex/internal/impact"
+	"flex/internal/milp"
+	"flex/internal/obs"
 	"flex/internal/placement"
 	"flex/internal/power"
 	"flex/internal/rackmgr"
@@ -52,6 +54,12 @@ type Config struct {
 	// moment of the UPS failure — the §IV-C redundancy must mask both
 	// while Flex-Online is acting.
 	InjectTelemetryFaults bool
+	// Obs, when non-nil, instruments the run: controller, actuation,
+	// consensus, and placement-solver metrics all register here.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records detect→plan→act traces of overdraw
+	// rounds (it is handed to every controller primary).
+	Tracer *obs.Tracer
 	// Debug prints controller decisions to stdout.
 	Debug bool
 }
@@ -159,7 +167,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150}.Place(room, trace)
+	var solverMetrics *milp.Metrics
+	if cfg.Obs != nil {
+		solverMetrics = milp.NewMetrics(cfg.Obs)
+	}
+	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150, SolverMetrics: solverMetrics}.Place(room, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +216,9 @@ func Run(cfg Config) (*Result, error) {
 		ids[i] = r.ID
 	}
 	mgr := rackmgr.NewManager(clk, ids)
+	if cfg.Obs != nil {
+		mgr.Metrics = rackmgr.NewMetrics(cfg.Obs)
+	}
 
 	// Ground truth: rack power honoring actuation state, and UPS loads
 	// honoring the failover transfer.
@@ -250,6 +265,10 @@ func Run(cfg Config) (*Result, error) {
 	// synchronously into the controller views on the paper's cadences.
 	upsView := telemetry.NewLatestPower()
 	rackView := telemetry.NewLatestPower()
+	var telMetrics *telemetry.Metrics
+	if cfg.Obs != nil {
+		telMetrics = telemetry.NewMetrics(cfg.Obs)
+	}
 	upsMeters := make([]*telemetry.LogicalMeter, len(topo.UPSes))
 	for u := range topo.UPSes {
 		u := u
@@ -257,6 +276,7 @@ func Run(cfg Config) (*Result, error) {
 			func() power.Watts { return upsTruth()[u] },
 			func() power.Watts { return 60 * power.KW }, // mechanical load
 			cfg.Seed+int64(u)*7)
+		upsMeters[u].Metrics = telMetrics
 	}
 	rackMeters := make([]*telemetry.SimMeter, len(sims))
 	for i, rs := range sims {
@@ -266,7 +286,12 @@ func Run(cfg Config) (*Result, error) {
 			telemetry.SimMeterConfig{Noise: 0.01, Seed: cfg.Seed + 1000 + int64(i)})
 	}
 
-	// Controllers (multi-primary).
+	// Controllers (multi-primary). The instances share one Metrics so the
+	// room's counters and latency histograms aggregate across primaries.
+	var ctlMetrics *controller.Metrics
+	if cfg.Obs != nil {
+		ctlMetrics = controller.NewMetrics(cfg.Obs)
+	}
 	ctls := make([]*controller.Controller, cfg.Controllers)
 	for i := range ctls {
 		ctls[i] = controller.New(controller.Config{
@@ -278,6 +303,8 @@ func Run(cfg Config) (*Result, error) {
 			RackView: rackView,
 			Actuator: mgr,
 			Scenario: *cfg.Scenario,
+			Metrics:  ctlMetrics,
+			Tracer:   cfg.Tracer,
 		})
 	}
 

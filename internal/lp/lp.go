@@ -110,6 +110,9 @@ type Result struct {
 	Status    Status
 	X         []float64
 	Objective float64
+	// Iterations is the total number of simplex pivots across both phases,
+	// for solver observability and performance accounting.
+	Iterations int
 }
 
 const eps = 1e-9
@@ -126,28 +129,32 @@ func Solve(p *Problem) (Result, error) {
 		}
 	}
 	t := newTableau(p)
+	iters := 0
 	// Phase 1: minimize sum of artificials.
 	if t.numArtificial > 0 {
-		if status := t.runSimplex(true); status == IterationLimit {
-			return Result{Status: IterationLimit}, nil
+		status, n := t.runSimplex(true)
+		iters += n
+		if status == IterationLimit {
+			return Result{Status: IterationLimit, Iterations: iters}, nil
 		}
 		if t.phase1Objective() > 1e-6 {
-			return Result{Status: Infeasible}, nil
+			return Result{Status: Infeasible, Iterations: iters}, nil
 		}
 		t.driveOutArtificials()
 	}
 	// Phase 2.
 	t.installPhase2Objective()
-	status := t.runSimplex(false)
+	status, n2 := t.runSimplex(false)
+	iters += n2
 	if status != Optimal {
-		return Result{Status: status}, nil
+		return Result{Status: status, Iterations: iters}, nil
 	}
 	x := t.extractSolution()
 	obj := 0.0
 	for i, c := range p.Objective {
 		obj += c * x[i]
 	}
-	return Result{Status: Optimal, X: x, Objective: obj}, nil
+	return Result{Status: Optimal, X: x, Objective: obj, Iterations: iters}, nil
 }
 
 // tableau is a dense simplex tableau. Column layout:
@@ -314,10 +321,11 @@ func (t *tableau) installPhase2Objective() {
 	}
 }
 
-// runSimplex pivots until optimal, unbounded, or the iteration cap. In
-// phase 1, artificial columns may leave but entering is allowed anywhere;
-// in phase 2 artificial columns are excluded from entering.
-func (t *tableau) runSimplex(phase1 bool) Status {
+// runSimplex pivots until optimal, unbounded, or the iteration cap,
+// returning the outcome and the number of pivots performed. In phase 1,
+// artificial columns may leave but entering is allowed anywhere; in phase 2
+// artificial columns are excluded from entering.
+func (t *tableau) runSimplex(phase1 bool) (Status, int) {
 	maxCols := t.cols
 	if !phase1 {
 		maxCols = t.artStart
@@ -345,7 +353,7 @@ func (t *tableau) runSimplex(phase1 bool) Status {
 			}
 		}
 		if enter == -1 {
-			return Optimal
+			return Optimal, iter
 		}
 		// Leaving row: minimum ratio; Bland tie-break on basis index.
 		leave := -1
@@ -362,11 +370,11 @@ func (t *tableau) runSimplex(phase1 bool) Status {
 			}
 		}
 		if leave == -1 {
-			return Unbounded
+			return Unbounded, iter
 		}
 		t.pivot(leave, enter)
 	}
-	return IterationLimit
+	return IterationLimit, maxIter
 }
 
 // pivot makes column enter basic in row leave.

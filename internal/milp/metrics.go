@@ -1,0 +1,51 @@
+package milp
+
+import "flex/internal/obs"
+
+// Metrics instruments the branch-and-bound search across solves. A nil
+// *Metrics disables instrumentation.
+type Metrics struct {
+	// Solves counts Solve calls that ran the search (input validation
+	// failures are excluded).
+	Solves *obs.Counter
+	// Nodes counts branch-and-bound nodes explored.
+	Nodes *obs.Counter
+	// SimplexIterations counts simplex pivots spent in node relaxations.
+	SimplexIterations *obs.Counter
+	// DeadlineHits counts solves stopped by Options.TimeLimit — the
+	// paper's "stop the ILP solver after 5 minutes" path.
+	DeadlineHits *obs.Counter
+	// NodeLimitHits counts solves stopped by Options.MaxNodes.
+	NodeLimitHits *obs.Counter
+}
+
+// NewMetrics registers the milp metrics on r (idempotent).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Solves:            r.Counter("flex_milp_solves_total", "branch-and-bound searches run"),
+		Nodes:             r.Counter("flex_milp_nodes_total", "branch-and-bound nodes explored"),
+		SimplexIterations: r.Counter("flex_milp_simplex_iterations_total", "simplex pivots spent in node relaxations"),
+		DeadlineHits:      r.Counter("flex_milp_deadline_hits_total", "solves stopped by the time limit"),
+		NodeLimitHits:     r.Counter("flex_milp_node_limit_hits_total", "solves stopped by the node limit"),
+	}
+}
+
+// record folds one finished solve into the counters (nil-safe).
+func (m *Metrics) record(res *Result) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	if res.Nodes > 0 {
+		m.Nodes.Add(uint64(res.Nodes))
+	}
+	if res.SimplexIterations > 0 {
+		m.SimplexIterations.Add(uint64(res.SimplexIterations))
+	}
+	if res.DeadlineHit {
+		m.DeadlineHits.Inc()
+	}
+	if res.NodeLimitHit {
+		m.NodeLimitHits.Inc()
+	}
+}

@@ -42,6 +42,9 @@ type Options struct {
 	RelGap float64
 	// Now supplies time (for tests); nil uses time.Now.
 	Now func() time.Time
+	// Metrics, when non-nil, accumulates search statistics (nodes, simplex
+	// pivots, limit hits) across solves.
+	Metrics *Metrics
 }
 
 // Status is the outcome of a MILP solve.
@@ -83,6 +86,13 @@ type Result struct {
 	Objective float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// SimplexIterations is the total simplex pivots spent across all node
+	// relaxations.
+	SimplexIterations int
+	// DeadlineHit is true when Options.TimeLimit stopped the search.
+	DeadlineHit bool
+	// NodeLimitHit is true when Options.MaxNodes stopped the search.
+	NodeLimitHit bool
 }
 
 const intEps = 1e-6
@@ -138,10 +148,12 @@ func Solve(p *Problem, opts Options) (Result, error) {
 	for len(stack) > 0 {
 		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
 			hitLimit = true
+			res.NodeLimitHit = true
 			break
 		}
 		if !deadline.IsZero() && now().After(deadline) {
 			hitLimit = true
+			res.DeadlineHit = true
 			break
 		}
 		if opts.RelGap > 0 && best != nil {
@@ -169,12 +181,15 @@ func Solve(p *Problem, opts Options) (Result, error) {
 			return Result{}, err
 		}
 		res.Nodes++
+		res.SimplexIterations += r.Iterations
 		switch r.Status {
 		case lp.Infeasible:
 			continue
 		case lp.Unbounded:
 			if len(nd.extra) == 0 {
-				return Result{Status: Unbounded, Nodes: res.Nodes}, nil
+				res.Status = Unbounded
+				opts.Metrics.record(&res)
+				return res, nil
 			}
 			continue
 		case lp.IterationLimit:
@@ -219,16 +234,23 @@ func Solve(p *Problem, opts Options) (Result, error) {
 
 	if best == nil {
 		if hitLimit {
-			return Result{Status: Feasible, Nodes: res.Nodes, X: nil}, nil
+			res.Status = Feasible
+		} else {
+			res.Status = Infeasible
 		}
-		return Result{Status: Infeasible, Nodes: res.Nodes}, nil
+		opts.Metrics.record(&res)
+		return res, nil
 	}
 	best.Nodes = res.Nodes
+	best.SimplexIterations = res.SimplexIterations
+	best.DeadlineHit = res.DeadlineHit
+	best.NodeLimitHit = res.NodeLimitHit
 	if hitLimit {
 		best.Status = Feasible
 	} else {
 		best.Status = Optimal
 	}
+	opts.Metrics.record(best)
 	return *best, nil
 }
 

@@ -1,0 +1,444 @@
+// Package obs is the observability layer for the Flex control software
+// itself: metrics about the detect→plan→act pipeline, the telemetry
+// fan-in, the actuation path, and the offline solvers — as opposed to
+// internal/telemetry, which models the datacenter's power meters.
+//
+// The package is stdlib-only and dependency-injected: components receive a
+// *Registry (and optionally a *Tracer) at construction and update
+// pre-bound metrics on their hot paths with zero per-observation
+// allocations. Time never comes from the wall clock here — spans record
+// caller-supplied timestamps from the injected clock.Clock, so virtual-
+// clock tests can assert exact latencies and clockcheck stays clean.
+//
+// Metrics export as Prometheus text format (WritePrometheus, served at
+// /metrics by Handler) and as expvar-style JSON (/debug/vars).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the metric type.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer (Prometheus TYPE names).
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+// The zero value is usable, but counters are normally created through a
+// Registry so they export.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (atomically, via compare-and-swap).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are chosen at
+// construction; Observe performs a linear scan over them and two atomic
+// updates — no allocation, no locking. Concurrent Observe calls are safe;
+// a concurrent export may see sum and counts from slightly different
+// instants, which is the standard Prometheus trade-off.
+type Histogram struct {
+	upper   []float64       // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64 // len(upper)+1; last bucket is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds (the Prometheus base unit).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each (the
+// +Inf bucket is the final entry with math.Inf(1)).
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.upper)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.upper) {
+			le = h.upper[i]
+		}
+		out[i] = Bucket{Le: le, Count: cum}
+	}
+	return out
+}
+
+// Bucket is one cumulative histogram bucket: observations <= Le.
+type Bucket struct {
+	Le    float64
+	Count uint64
+}
+
+// LatencyBuckets returns histogram bounds (seconds) sized for the
+// Flex-Online latency budget: sub-second resolution below the controller
+// interval, and an exact boundary at the 10-second UPS overload tolerance
+// so "inside the budget" is answerable from bucket counts alone.
+func LatencyBuckets() []float64 {
+	return []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 3, 5, 7.5, 10, 15, 30, 60}
+}
+
+// metric is one registered entry.
+type metric struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string // label names for vecs; nil for plain metrics
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	buckets []float64 // histogram construction bounds (for get-or-create checks)
+
+	mu       sync.Mutex
+	children []*child // vec children in registration order
+	byKey    map[string]*child
+}
+
+// child is one pre-bound labelled metric of a vec.
+type child struct {
+	values  []string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds metrics for export. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use, but metric
+// creation is intended for wiring time — hot paths hold only the returned
+// *Counter/*Gauge/*Histogram.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register is the common get-or-create path. Registering the same name
+// twice with the same kind and labels returns the existing metric
+// (idempotent wiring); a mismatch panics — that is a programming error,
+// like prometheus.MustRegister.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *metric {
+	if !ValidMetricName(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !ValidLabelName(l) {
+			panic("obs: invalid label name " + l + " on metric " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind || !equalStrings(m.labels, labels) || !equalFloats(m.buckets, buckets) {
+			panic("obs: metric " + name + " re-registered with a different shape")
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: labels, buckets: buckets}
+	if len(labels) == 0 {
+		switch kind {
+		case KindCounter:
+			m.counter = &Counter{}
+		case KindGauge:
+			m.gauge = &Gauge{}
+		case KindHistogram:
+			m.hist = newHistogram(buckets)
+		}
+	} else {
+		m.byKey = make(map[string]*child)
+	}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets()
+	}
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter, nil, nil).counter
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge, nil, nil).gauge
+}
+
+// Histogram registers (or returns) a histogram with the given bucket
+// upper bounds (nil selects LatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, KindHistogram, nil, buckets).hist
+}
+
+// CounterVec is a counter family with labels. Children are pre-bound with
+// With at wiring time; the returned *Counter is then allocation-free on
+// the hot path.
+type CounterVec struct{ m *metric }
+
+// CounterVec registers (or returns) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("obs: CounterVec " + name + " needs at least one label")
+	}
+	return &CounterVec{m: r.register(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the child counter for the given label values, creating it
+// on first use. Call at wiring time, not per observation.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.m.child(values).counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ m *metric }
+
+// GaugeVec registers (or returns) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec " + name + " needs at least one label")
+	}
+	return &GaugeVec{m: r.register(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the given label values, creating it on
+// first use. Call at wiring time, not per observation.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.m.child(values).gauge
+}
+
+// child returns the pre-bound child for values, creating it if needed.
+func (m *metric) child(values []string) *child {
+	if len(values) != len(m.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", m.name, len(m.labels), len(values)))
+	}
+	key := labelKey(values)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.byKey[key]; ok {
+		return c
+	}
+	c := &child{values: append([]string(nil), values...)}
+	switch m.kind {
+	case KindCounter:
+		c.counter = &Counter{}
+	case KindGauge:
+		c.gauge = &Gauge{}
+	case KindHistogram:
+		c.hist = newHistogram(m.buckets)
+	}
+	m.children = append(m.children, c)
+	m.byKey[key] = c
+	return c
+}
+
+// labelKey joins label values unambiguously (values may contain commas).
+func labelKey(values []string) string {
+	key := ""
+	for _, v := range values {
+		key += fmt.Sprintf("%d:%s,", len(v), v)
+	}
+	return key
+}
+
+// Snapshot is a point-in-time copy of one metric (or one vec child) for
+// reporting.
+type Snapshot struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	// Value is the counter count or gauge value.
+	Value float64
+	// Count, Sum, Buckets are set for histograms.
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// Quantile estimates the q-quantile (0..1) of a histogram snapshot by
+// linear interpolation within its buckets; the open-ended +Inf bucket
+// reports its lower bound. Returns 0 for empty histograms.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Kind != KindHistogram || s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	lower, lowerCount := 0.0, uint64(0)
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.Le, 1) {
+				return lower
+			}
+			span := float64(b.Count - lowerCount)
+			if span <= 0 {
+				return b.Le
+			}
+			frac := (rank - float64(lowerCount)) / span
+			return lower + frac*(b.Le-lower)
+		}
+		lower, lowerCount = b.Le, b.Count
+	}
+	return lower
+}
+
+// Snapshots copies every metric (vec children expanded) in registration
+// order, children in creation order.
+func (r *Registry) Snapshots() []Snapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	var out []Snapshot
+	for _, m := range metrics {
+		if len(m.labels) == 0 {
+			out = append(out, m.snapshotOne(nil, m.counter, m.gauge, m.hist))
+			continue
+		}
+		m.mu.Lock()
+		children := append([]*child(nil), m.children...)
+		m.mu.Unlock()
+		for _, c := range children {
+			out = append(out, m.snapshotOne(c.values, c.counter, c.gauge, c.hist))
+		}
+	}
+	return out
+}
+
+func (m *metric) snapshotOne(values []string, c *Counter, g *Gauge, h *Histogram) Snapshot {
+	s := Snapshot{Name: m.name, Help: m.help, Kind: m.kind}
+	for i, v := range values {
+		s.Labels = append(s.Labels, Label{Name: m.labels[i], Value: v})
+	}
+	switch m.kind {
+	case KindCounter:
+		s.Value = float64(c.Value())
+	case KindGauge:
+		s.Value = g.Value()
+	case KindHistogram:
+		s.Count = h.Count()
+		s.Sum = h.Sum()
+		s.Buckets = h.Buckets()
+	}
+	return s
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}

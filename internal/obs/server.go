@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+)
+
+// ServerConfig wires the introspection handler.
+type ServerConfig struct {
+	Registry *Registry
+	// Tracer is optional; without it /traces serves an empty list.
+	Tracer *Tracer
+}
+
+// NewHandler returns the live introspection surface:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar-style JSON (cmdline, memstats, metrics)
+//	/debug/pprof/  the standard runtime profiles
+//	/traces        recent detect→plan→act traces as JSON
+//
+// Mount it behind an opt-in -listen flag; the handler itself performs no
+// authentication.
+func NewHandler(cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("flex obs endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /traces\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Registry.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is note it for the scraper.
+			_, _ = w.Write([]byte("\n# export error: " + err.Error() + "\n"))
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeExpvar(w, cfg.Registry)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if cfg.Tracer == nil {
+			_, _ = w.Write([]byte("[]\n"))
+			return
+		}
+		if err := cfg.Tracer.WriteJSON(w); err != nil {
+			_, _ = w.Write([]byte("\n"))
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer binds addr (":0" picks a free port) and serves the
+// introspection handler in a background goroutine. It returns the bound
+// address and a stop function that closes the listener and any in-flight
+// connections. The commands mount this behind their -listen flags.
+func StartServer(addr string, cfg ServerConfig) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(cfg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// WriteExpvar renders the registry in expvar's JSON shape — flat keys,
+// plus the conventional cmdline and memstats entries — so existing expvar
+// tooling can consume it. Histograms appear as {count, sum, p50, p95, p99}.
+func writeExpvar(w http.ResponseWriter, r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	vars := map[string]interface{}{
+		"cmdline": os.Args,
+		"memstats": map[string]interface{}{
+			"Alloc":      ms.Alloc,
+			"TotalAlloc": ms.TotalAlloc,
+			"Sys":        ms.Sys,
+			"HeapAlloc":  ms.HeapAlloc,
+			"HeapInuse":  ms.HeapInuse,
+			"NumGC":      ms.NumGC,
+			"PauseTotal": ms.PauseTotalNs,
+		},
+		"goroutines": runtime.NumGoroutine(),
+	}
+	for _, s := range r.Snapshots() {
+		key := s.Name
+		for _, l := range s.Labels {
+			key += ";" + l.Name + "=" + l.Value
+		}
+		switch s.Kind {
+		case KindHistogram:
+			vars[key] = map[string]interface{}{
+				"count": s.Count,
+				"sum":   s.Sum,
+				"p50":   s.Quantile(0.50),
+				"p95":   s.Quantile(0.95),
+				"p99":   s.Quantile(0.99),
+			}
+		default:
+			vars[key] = s.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(vars)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flex/internal/clock"
+)
+
+func testHandler(t *testing.T) http.Handler {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("flex_test_steps_total", "steps").Add(3)
+	h := r.Histogram("flex_test_shed_latency_seconds", "latency", []float64{1, 10})
+	h.Observe(2)
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	tr := NewTracer(4)
+	trace := tr.Start("step", clk.Now())
+	clk.Advance(time.Second)
+	trace.Finish(clk.Now())
+	return NewHandler(ServerConfig{Registry: r, Tracer: tr})
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "flex_test_steps_total 3") {
+		t.Fatalf("missing counter:\n%s", body)
+	}
+	if err := ValidatePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v", err)
+	}
+}
+
+func TestHandlerDebugVars(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var vars map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"cmdline", "memstats", "flex_test_steps_total"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("missing %q in /debug/vars", key)
+		}
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var traces []map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0]["name"] != "step" {
+		t.Fatalf("unexpected traces: %v", traces)
+	}
+}
+
+func TestHandlerPprofIndex(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d, body %.80q", code, body)
+	}
+}
+
+func TestHandlerNotFound(t *testing.T) {
+	h := testHandler(t)
+	if code, _ := get(t, h, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one named stage of a trace, with caller-supplied start and end
+// times. obs never reads the wall clock: every timestamp comes from the
+// component's injected clock.Clock, so virtual-clock tests can assert
+// exact stage latencies.
+type Span struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Duration is the span length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Trace is one recorded pipeline execution (e.g. a controller step's
+// detect→plan→act). Build it from a single goroutine — Span and SetNote
+// are not synchronized — then Finish commits it to the tracer's ring
+// buffer and it must not be mutated further.
+type Trace struct {
+	Seq   uint64    `json:"seq"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	Spans []Span    `json:"spans"`
+	// Note carries a short free-form annotation ("overdraw enforced=3").
+	Note string `json:"note,omitempty"`
+
+	tracer *Tracer
+}
+
+// Span appends a completed stage.
+func (t *Trace) Span(name string, start, end time.Time) {
+	t.Spans = append(t.Spans, Span{Name: name, Start: start, End: end})
+}
+
+// SetNote attaches an annotation to the trace.
+func (t *Trace) SetNote(note string) { t.Note = note }
+
+// Finish stamps the end time and commits the trace to its tracer's ring
+// buffer, evicting the oldest entry when full.
+func (t *Trace) Finish(at time.Time) {
+	t.End = at
+	tr := t.tracer
+	if tr == nil {
+		return
+	}
+	t.tracer = nil
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.ring) < tr.capacity {
+		tr.ring = append(tr.ring, t)
+		return
+	}
+	tr.ring[tr.next] = t
+	tr.next = (tr.next + 1) % tr.capacity
+}
+
+// Duration is the whole-trace length.
+func (t *Trace) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// Tracer keeps a fixed-size ring buffer of recently finished traces for
+// the /traces introspection endpoint. All methods are safe for concurrent
+// use; individual traces are built single-goroutine (see Trace).
+type Tracer struct {
+	capacity int
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	seq  uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity finished traces
+// (default 256 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Start begins a trace at the caller-supplied time.
+func (tr *Tracer) Start(name string, at time.Time) *Trace {
+	tr.mu.Lock()
+	tr.seq++
+	seq := tr.seq
+	tr.mu.Unlock()
+	return &Trace{Seq: seq, Name: name, Start: at, tracer: tr}
+}
+
+// Started reports how many traces have been started.
+func (tr *Tracer) Started() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.seq
+}
+
+// Recent returns copies of the retained traces, newest first.
+func (tr *Tracer) Recent() []Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Trace, 0, len(tr.ring))
+	for i := len(tr.ring) - 1; i >= 0; i-- {
+		t := tr.ring[(tr.next+i)%len(tr.ring)]
+		c := *t
+		c.Spans = append([]Span(nil), t.Spans...)
+		out = append(out, c)
+	}
+	return out
+}
+
+// traceJSON is the /traces wire format: durations are folded in so the
+// output is readable without computing time differences by hand.
+type traceJSON struct {
+	Seq             uint64     `json:"seq"`
+	Name            string     `json:"name"`
+	Start           time.Time  `json:"start"`
+	DurationSeconds float64    `json:"duration_seconds"`
+	Note            string     `json:"note,omitempty"`
+	Spans           []spanJSON `json:"spans"`
+}
+
+type spanJSON struct {
+	Name            string  `json:"name"`
+	OffsetSeconds   float64 `json:"offset_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// WriteJSON renders the retained traces (newest first) as a JSON array.
+func (tr *Tracer) WriteJSON(w io.Writer) error {
+	recent := tr.Recent()
+	out := make([]traceJSON, len(recent))
+	for i, t := range recent {
+		tj := traceJSON{
+			Seq:             t.Seq,
+			Name:            t.Name,
+			Start:           t.Start,
+			DurationSeconds: t.Duration().Seconds(),
+			Note:            t.Note,
+			Spans:           make([]spanJSON, len(t.Spans)),
+		}
+		for j, s := range t.Spans {
+			tj.Spans[j] = spanJSON{
+				Name:            s.Name,
+				OffsetSeconds:   s.Start.Sub(t.Start).Seconds(),
+				DurationSeconds: s.Duration().Seconds(),
+			}
+		}
+		out[i] = tj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"flex/internal/clock"
+)
+
+// TestTracerVirtualClockExactLatencies drives spans from a virtual clock
+// and asserts the recorded durations are exact — the property clockcheck
+// protects: obs never reads wall time itself.
+func TestTracerVirtualClockExactLatencies(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	tr := NewTracer(8)
+
+	start := clk.Now()
+	trace := tr.Start("controller/step", start)
+	clk.Advance(150 * time.Millisecond)
+	detectEnd := clk.Now()
+	trace.Span("detect", start, detectEnd)
+	clk.Advance(40 * time.Millisecond)
+	planEnd := clk.Now()
+	trace.Span("plan", detectEnd, planEnd)
+	clk.Advance(2 * time.Second)
+	actEnd := clk.Now()
+	trace.Span("act", planEnd, actEnd)
+	trace.SetNote("enforced=3")
+	trace.Finish(actEnd)
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("got %d traces, want 1", len(recent))
+	}
+	got := recent[0]
+	if got.Duration() != 2190*time.Millisecond {
+		t.Fatalf("trace duration = %v, want 2.19s", got.Duration())
+	}
+	wantSpans := map[string]time.Duration{
+		"detect": 150 * time.Millisecond,
+		"plan":   40 * time.Millisecond,
+		"act":    2 * time.Second,
+	}
+	for _, s := range got.Spans {
+		if want := wantSpans[s.Name]; s.Duration() != want {
+			t.Errorf("span %s duration = %v, want %v", s.Name, s.Duration(), want)
+		}
+	}
+	if got.Note != "enforced=3" {
+		t.Errorf("note = %q", got.Note)
+	}
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		trace := tr.Start("step", clk.Now())
+		clk.Advance(time.Second)
+		trace.Finish(clk.Now())
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recent))
+	}
+	// Newest first: seq 5, 4, 3.
+	for i, wantSeq := range []uint64{5, 4, 3} {
+		if recent[i].Seq != wantSeq {
+			t.Fatalf("recent[%d].Seq = %d, want %d", i, recent[i].Seq, wantSeq)
+		}
+	}
+	if got := tr.Started(); got != 5 {
+		t.Fatalf("Started = %d, want 5", got)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(100, 0))
+	tr := NewTracer(4)
+	trace := tr.Start("controller/step", clk.Now())
+	stageStart := clk.Now()
+	clk.Advance(500 * time.Millisecond)
+	trace.Span("detect", stageStart, clk.Now())
+	trace.Finish(clk.Now())
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Name            string  `json:"name"`
+		DurationSeconds float64 `json:"duration_seconds"`
+		Spans           []struct {
+			Name            string  `json:"name"`
+			DurationSeconds float64 `json:"duration_seconds"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 1 || decoded[0].Name != "controller/step" {
+		t.Fatalf("unexpected traces: %+v", decoded)
+	}
+	if len(decoded[0].Spans) != 1 || decoded[0].Spans[0].DurationSeconds != 0.5 {
+		t.Fatalf("unexpected spans: %+v", decoded[0].Spans)
+	}
+}

@@ -53,6 +53,9 @@ type FlexOffline struct {
 	SkipDiversityReserve bool
 	// Label overrides Name() (e.g. "Flex-Offline-Short").
 	Label string
+	// SolverMetrics, when non-nil, accumulates branch-and-bound statistics
+	// (nodes, simplex pivots, limit hits) across the per-batch ILP solves.
+	SolverMetrics *milp.Metrics
 }
 
 // FlexOfflineShort returns the paper's Flex-Offline-Short configuration
@@ -310,6 +313,7 @@ func (f FlexOffline) solveBatch(s *state, combos []combo, batch []workload.Deplo
 		MaxNodes:  maxNodes,
 		Incumbent: milp.GreedyBinaryIncumbent(prob),
 		Heuristic: heuristic,
+		Metrics:   f.SolverMetrics,
 		// The placement objective is in MW; differences below ~0.1% of a
 		// batch are far below a single deployment, so a 0.1% gap trades
 		// no placement quality for a large node-count reduction.

@@ -72,6 +72,9 @@ type Manager struct {
 	// the paper reports ≈2s p99.9 for a ~10MW room, dominated by the RM
 	// round trip. Zero means no delay.
 	ActionLatency time.Duration
+	// Metrics, when non-nil, counts actuation attempts, failures, and
+	// idempotent no-ops. Set it before actuation begins.
+	Metrics *Metrics
 
 	mu    sync.Mutex
 	racks map[string]*rack
@@ -240,6 +243,7 @@ func (m *Manager) Health(id string) error {
 func (m *Manager) logAction(a Action) {
 	a.At = m.clk.Now()
 	m.log = append(m.log, a)
+	m.Metrics.recordAction(&a)
 }
 
 // Log returns a copy of the action audit log.

@@ -65,6 +65,12 @@ func (w *Watchdog) SweepOnce() []Alert {
 	w.alerts = append(w.alerts, raised...)
 	cb := w.OnAlert
 	w.mu.Unlock()
+	if m := w.Manager.Metrics; m != nil {
+		m.WatchdogSweeps.Inc()
+		if len(raised) > 0 {
+			m.WatchdogAlerts.Add(uint64(len(raised)))
+		}
+	}
 	if cb != nil {
 		for _, a := range raised {
 			cb(a)

@@ -18,6 +18,14 @@ type LogicalMeter struct {
 	// Quorum is the minimum number of successful readings required; the
 	// default (set by NewLogicalMeter) is a majority of the meters.
 	Quorum int
+	// Metrics, when non-nil, counts reads whose physical meters disagree
+	// beyond DisagreementFrac — the signal that the median is actively
+	// masking a mis-calibrated meter.
+	Metrics *Metrics
+	// DisagreementFrac is the relative spread (max−min over median) above
+	// which a read counts as a disagreement (default 0.05, set by
+	// NewLogicalMeter).
+	DisagreementFrac float64
 }
 
 // NewLogicalMeter builds a consensus meter over the given physical meters.
@@ -25,7 +33,7 @@ func NewLogicalMeter(device string, meters ...Meter) (*LogicalMeter, error) {
 	if len(meters) == 0 {
 		return nil, fmt.Errorf("telemetry: logical meter %q needs at least one physical meter", device)
 	}
-	return &LogicalMeter{Device: device, meters: meters, Quorum: len(meters)/2 + 1}, nil
+	return &LogicalMeter{Device: device, meters: meters, Quorum: len(meters)/2 + 1, DisagreementFrac: 0.05}, nil
 }
 
 // Read returns the median of the currently readable meters. It fails when
@@ -46,10 +54,15 @@ func (l *LogicalMeter) Read(now time.Time) (power.Watts, error) {
 	}
 	sort.Float64s(vals)
 	n := len(vals)
-	if n%2 == 1 {
-		return power.Watts(vals[n/2]), nil
+	med := vals[n/2]
+	if n%2 == 0 {
+		med = (vals[n/2-1] + vals[n/2]) / 2
 	}
-	return power.Watts((vals[n/2-1] + vals[n/2]) / 2), nil
+	if l.Metrics != nil && n >= 2 && med > 0 &&
+		(vals[n-1]-vals[0]) > l.DisagreementFrac*med {
+		l.Metrics.ConsensusDisagreements.Inc()
+	}
+	return power.Watts(med), nil
 }
 
 // Meters returns the underlying physical meters (for fault injection in

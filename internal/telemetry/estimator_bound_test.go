@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/power"
+)
+
+// TestEWMAEstimatorConservativeLowerBound drives the estimator on a
+// virtual-clock timeline and checks the property the controller depends on
+// when valuing corrective actions: the k=-1 bound never promises more
+// recoverable power than the smoothed estimate, and on a steady series it
+// converges to the true draw rather than below it.
+func TestEWMAEstimatorConservativeLowerBound(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	e := NewEWMAEstimator(0.25)
+
+	feed := func(device string, w power.Watts) {
+		clk.Advance(2 * time.Second) // the paper's rack polling cadence
+		e.Update(Sample{Device: device, Power: w, Valid: true, MeasuredAt: clk.Now()})
+	}
+
+	// A perfectly steady rack: deviation stays 0, so the conservative
+	// bound must equal the estimate exactly — no phantom pessimism.
+	for i := 0; i < 50; i++ {
+		feed("steady", 10*power.KW)
+	}
+	est, ok := e.Estimate("steady")
+	if !ok || est != 10*power.KW {
+		t.Fatalf("steady estimate = %v %v, want 10kW", est, ok)
+	}
+	lower, ok := e.Bound("steady", -1)
+	if !ok || lower != est {
+		t.Fatalf("steady lower bound = %v, want == estimate %v", lower, est)
+	}
+
+	// An oscillating rack: the lower bound must sit strictly below the
+	// smoothed mean (deviation > 0) and stay within the observed range.
+	for i := 0; i < 60; i++ {
+		w := 8 * power.KW
+		if i%2 == 0 {
+			w = 12 * power.KW
+		}
+		feed("noisy", w)
+	}
+	estN, _ := e.Estimate("noisy")
+	lowerN, _ := e.Bound("noisy", -1)
+	if lowerN >= estN {
+		t.Fatalf("noisy lower bound %v not below estimate %v", lowerN, estN)
+	}
+	if lowerN < 4*power.KW || lowerN > 12*power.KW {
+		t.Fatalf("noisy lower bound %v escaped the plausible range", lowerN)
+	}
+
+	// BoundSnapshot must agree with per-device Bound for every device.
+	snap := e.BoundSnapshot(-1)
+	for _, dev := range []string{"steady", "noisy"} {
+		want, _ := e.Bound(dev, -1)
+		if snap[dev] != want {
+			t.Errorf("BoundSnapshot[%s] = %v, want %v", dev, snap[dev], want)
+		}
+	}
+
+	// A sample timestamped before the last accepted one (duplicate path
+	// replay) must not move the estimate — ordering comes from the clock's
+	// measurement times, not arrival order.
+	before, _ := e.Estimate("steady")
+	e.Update(Sample{Device: "steady", Power: 99 * power.KW, Valid: true,
+		MeasuredAt: clk.Now().Add(-time.Hour)})
+	after, _ := e.Estimate("steady")
+	if before != after {
+		t.Fatalf("out-of-order sample moved estimate: %v → %v", before, after)
+	}
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"flex/internal/obs"
+)
+
+// Metrics is the telemetry pipeline's own observability: how the software
+// that moves power samples behaves, as opposed to the power values it
+// carries. All fields are pre-bound at construction; updates on the poll
+// and fan-in hot paths are allocation-free. A nil *Metrics disables
+// instrumentation everywhere it is accepted.
+type Metrics struct {
+	// Polls counts poll rounds across all pollers.
+	Polls *obs.Counter
+	// SamplesPublished counts samples handed to brokers (per broker copy).
+	SamplesPublished *obs.Counter
+	// InvalidReads counts meter reads that failed quorum at poll time.
+	InvalidReads *obs.Counter
+	// ConsensusDisagreements counts logical-meter reads whose physical
+	// meters spread wider than the disagreement threshold — the early
+	// signal of a mis-calibrated meter the §IV-C median is masking.
+	ConsensusDisagreements *obs.Counter
+	// DroppedSamples counts samples evicted from slow subscriber buffers.
+	DroppedSamples *obs.Counter
+	// DedupeHits counts duplicate samples suppressed on the redundant
+	// poller × broker paths.
+	DedupeHits *obs.Counter
+	// PublishLag is the seconds from a sample's MeasuredAt to its arrival
+	// in a subscriber view — the telemetry share of the 10s budget.
+	PublishLag *obs.Histogram
+}
+
+// NewMetrics registers the telemetry metrics on r (idempotent: calling
+// twice with the same registry rebinds the same metrics).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Polls:            r.Counter("flex_telemetry_polls_total", "poll rounds executed"),
+		SamplesPublished: r.Counter("flex_telemetry_samples_published_total", "samples handed to brokers (per broker copy)"),
+		InvalidReads:     r.Counter("flex_telemetry_invalid_reads_total", "meter reads that failed consensus quorum"),
+		ConsensusDisagreements: r.Counter("flex_telemetry_consensus_disagreements_total",
+			"logical meter reads with physical meters spread beyond the disagreement threshold"),
+		DroppedSamples: r.Counter("flex_telemetry_dropped_samples_total", "samples evicted from slow subscriber buffers"),
+		DedupeHits:     r.Counter("flex_telemetry_dedupe_hits_total", "duplicate samples suppressed from redundant paths"),
+		PublishLag: r.Histogram("flex_telemetry_publish_lag_seconds",
+			"seconds from sample measurement to subscriber view update",
+			[]float64{0.1, 0.25, 0.5, 1, 1.5, 2, 3, 5, 10}),
+	}
+}

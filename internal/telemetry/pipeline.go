@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"flex/internal/clock"
+	"flex/internal/obs"
 	"flex/internal/power"
 )
 
@@ -29,6 +30,10 @@ type PipelineConfig struct {
 	Brokers int
 	// Seed drives meter noise.
 	Seed int64
+	// Obs, when non-nil, instruments the pipeline's own behaviour (poll
+	// counts, publish lag, drops, consensus disagreements) on the given
+	// registry.
+	Obs *obs.Registry
 }
 
 // Pipeline is the assembled telemetry system for one room: per-device
@@ -39,6 +44,8 @@ type Pipeline struct {
 	RackMeters map[string]*LogicalMeter
 	PollerSet  []*Poller
 	BrokerSet  []*Broker
+	// Metrics is non-nil when PipelineConfig.Obs was set.
+	Metrics *Metrics
 
 	cancel context.CancelFunc
 }
@@ -69,13 +76,19 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		UPSMeters:  make(map[string]*LogicalMeter),
 		RackMeters: make(map[string]*LogicalMeter),
 	}
+	if cfg.Obs != nil {
+		p.Metrics = NewMetrics(cfg.Obs)
+	}
 	for i := 0; i < cfg.Brokers; i++ {
-		p.BrokerSet = append(p.BrokerSet, NewBroker(brokerName(i)))
+		b := NewBroker(brokerName(i))
+		b.Metrics = p.Metrics
+		p.BrokerSet = append(p.BrokerSet, b)
 	}
 	seed := cfg.Seed
 	var upsTargets, rackTargets []Target
 	for _, name := range sortedKeys(cfg.UPSSources) {
 		lm := NewUPSLogicalMeter(name, cfg.UPSSources[name], mech, seed)
+		lm.Metrics = p.Metrics
 		seed += 10
 		p.UPSMeters[name] = lm
 		upsTargets = append(upsTargets, Target{Meter: lm, Topic: TopicUPS})
@@ -93,6 +106,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 			panic(err) // static construction; cannot fail
 		}
 		lm.Quorum = 1
+		lm.Metrics = p.Metrics
 		p.RackMeters[name] = lm
 		rackTargets = append(rackTargets, Target{Meter: lm, Topic: TopicRack})
 	}
@@ -101,9 +115,11 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		pubs[i] = b
 	}
 	for i := 0; i < cfg.Pollers; i++ {
-		p.PollerSet = append(p.PollerSet,
-			NewPoller(pollerName(i, "ups"), cfg.Clock, cfg.UPSInterval, pubs, upsTargets),
-			NewPoller(pollerName(i, "rack"), cfg.Clock, cfg.RackInterval, pubs, rackTargets))
+		ups := NewPoller(pollerName(i, "ups"), cfg.Clock, cfg.UPSInterval, pubs, upsTargets)
+		rack := NewPoller(pollerName(i, "rack"), cfg.Clock, cfg.RackInterval, pubs, rackTargets)
+		ups.Metrics = p.Metrics
+		rack.Metrics = p.Metrics
+		p.PollerSet = append(p.PollerSet, ups, rack)
 	}
 	return p
 }
@@ -149,8 +165,15 @@ func (p *Pipeline) SubscribeAll(topic string, view *LatestPower) (cancel func())
 					if !ok {
 						return
 					}
-					if dedupe.Fresh(s) {
-						view.Update(s)
+					if !dedupe.Fresh(s) {
+						if p.Metrics != nil {
+							p.Metrics.DedupeHits.Inc()
+						}
+						continue
+					}
+					view.Update(s)
+					if p.Metrics != nil {
+						p.Metrics.PublishLag.ObserveDuration(p.Clock.Now().Sub(s.MeasuredAt))
 					}
 				case <-done:
 					return

@@ -26,6 +26,9 @@ type Poller struct {
 	Clock    clock.Clock
 	Brokers  []SamplePublisher
 	Targets  []Target
+	// Metrics, when non-nil, receives poll/publish/invalid-read counts.
+	// Set it before Run (the pipeline wires it from PipelineConfig.Obs).
+	Metrics *Metrics
 
 	mu    sync.Mutex
 	seq   map[string]uint64
@@ -60,9 +63,15 @@ func (p *Poller) PollOnce() {
 	}
 	p.polls++
 	p.mu.Unlock()
+	if p.Metrics != nil {
+		p.Metrics.Polls.Inc()
+	}
 	now := p.Clock.Now()
 	for _, t := range p.Targets {
 		v, err := t.Meter.Read(now)
+		if p.Metrics != nil && err != nil {
+			p.Metrics.InvalidReads.Inc()
+		}
 		s := Sample{
 			Device:     t.Meter.Device,
 			Power:      v,
@@ -73,6 +82,9 @@ func (p *Poller) PollOnce() {
 		}
 		for _, b := range p.Brokers {
 			b.Publish(t.Topic, s)
+			if p.Metrics != nil {
+				p.Metrics.SamplesPublished.Inc()
+			}
 		}
 	}
 }

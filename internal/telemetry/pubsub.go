@@ -61,6 +61,9 @@ func (s *Subscription) Close() {
 // deduplicate, so the loss of one broker is invisible (paper Figure 7).
 type Broker struct {
 	Name string
+	// Metrics, when non-nil, counts samples dropped from slow subscriber
+	// buffers. Set it before publishing begins.
+	Metrics *Metrics
 
 	mu     sync.Mutex
 	topics map[string][]*Subscription
@@ -122,6 +125,9 @@ func (b *Broker) Publish(topic string, s Sample) {
 				select {
 				case <-sub.C:
 					sub.dropped++
+					if b.Metrics != nil {
+						b.Metrics.DroppedSamples.Inc()
+					}
 				default:
 				}
 				continue
