@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench figures fuzz examples ci clean
+.PHONY: all build vet lint test race cover bench bench-solver figures fuzz examples ci clean
 
 all: build vet lint test
 
@@ -28,7 +28,7 @@ race:
 # over the concurrent packages and a flexmon smoke run with the
 # observability surface enabled.
 ci: build vet lint test
-	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/...
+	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/milp/... ./internal/lp/...
 	$(GO) run ./cmd/flexmon -quick -metrics -listen 127.0.0.1:0
 
 cover:
@@ -42,6 +42,14 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
+
+# Records the solver-scaling baseline (BenchmarkSolverScaling: serial
+# reference engine vs 1/2/4/8 frontier workers on the batch-placement
+# ILP). Inspect the speedups with:
+#   $(GO) run ./cmd/benchjson -speedup BENCH_solver.json
+bench-solver:
+	$(GO) test -run '^$$' -bench BenchmarkSolverScaling -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_solver.json
+	@echo wrote BENCH_solver.json
 
 # Regenerates every figure/result of the paper's evaluation.
 figures:

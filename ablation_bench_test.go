@@ -5,6 +5,7 @@ package flex
 // delta, once.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,7 +46,7 @@ func BenchmarkAblation_ILPvsGreedy(b *testing.B) {
 			var stranded, imbalance []float64
 			for s := int64(0); s < 5; s++ {
 				tr := ShuffleTrace(base, s)
-				pl, err := v.pol.Place(room, tr)
+				pl, err := v.pol.Place(context.Background(), room, tr)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -75,7 +76,7 @@ func BenchmarkAblation_ImpactVsPowerGreedy(b *testing.B) {
 	}
 	pol := FlexOfflineShort()
 	pol.MaxNodes = 300
-	pl, err := pol.Place(room, trace)
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func BenchmarkAblation_SafetyBuffer(b *testing.B) {
 	}
 	pol := FlexOfflineShort()
 	pol.MaxNodes = 300
-	pl, err := pol.Place(room, trace)
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func BenchmarkSectionVI_PartialReserve(b *testing.B) {
 				b.Fatal(err)
 			}
 			pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 200}
-			pl, err := pol.Place(room, trace)
+			pl, err := pol.Place(context.Background(), room, trace)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -372,7 +373,7 @@ func BenchmarkExtension_FlexPlusOversubscription(b *testing.B) {
 				b.Fatal(err)
 			}
 			room.Oversubscription = over
-			pl, err := pol.Place(room, trace)
+			pl, err := pol.Place(context.Background(), room, trace)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -12,6 +12,7 @@ package flex
 // crossovers fall — is the reproduction target (see EXPERIMENTS.md).
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -103,7 +104,7 @@ func figure9Rows() ([]placementRow, error) {
 		for _, pol := range policies {
 			var stranded, imbalance []float64
 			for _, tr := range traces {
-				pl, err := pol.Place(room, tr)
+				pl, err := pol.Place(context.Background(), room, tr)
 				if err != nil {
 					fig9Err = err
 					return
@@ -177,7 +178,7 @@ func BenchmarkSectionVA_DeploymentSizes(b *testing.B) {
 				tr := ShuffleTrace(base, s)
 				pol := FlexOfflineShort()
 				pol.MaxNodes = 300
-				pl, err := pol.Place(room, tr)
+				pl, err := pol.Place(context.Background(), room, tr)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -217,7 +218,7 @@ func BenchmarkSectionVA_SoftwareRedundantFraction(b *testing.B) {
 				tr := ShuffleTrace(base, s)
 				pol := FlexOfflineLong()
 				pol.MaxNodes = 500
-				pl, err := pol.Place(room, tr)
+				pl, err := pol.Place(context.Background(), room, tr)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -271,7 +272,7 @@ func BenchmarkFigure12_RuntimeDecisions(b *testing.B) {
 	}
 	pol := FlexOfflineShort()
 	pol.MaxNodes = 300
-	pl, err := pol.Place(room, trace)
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -41,10 +41,18 @@ type Record struct {
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	restore := flag.String("restore", "", "read a baseline JSON file and print the original benchmark text")
+	speedup := flag.String("speedup", "", "read a baseline JSON file and print each record's nodes/s relative to the serial record")
 	flag.Parse()
 
 	if *restore != "" {
 		if err := restoreText(*restore, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *speedup != "" {
+		if err := speedupTable(*speedup, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -135,6 +143,51 @@ func parseResultLine(line string) (Record, bool) {
 		rec.Metrics[fields[i+1]] = v
 	}
 	return rec, true
+}
+
+// speedupTable prints every record carrying a nodes/s metric as a ratio
+// against the "/serial" record of the same benchmark — the scaling view of
+// BENCH_solver.json (see BenchmarkSolverScaling).
+func speedupTable(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return err
+	}
+	// The reference throughput is the record whose name's last path
+	// segment starts with "serial" (the -P GOMAXPROCS suffix follows it).
+	baseline := 0.0
+	for _, rec := range b.Benchmarks {
+		if _, ok := rec.Metrics["nodes/s"]; !ok {
+			continue
+		}
+		seg := rec.Name[strings.LastIndexByte(rec.Name, '/')+1:]
+		if strings.HasPrefix(seg, "serial") {
+			baseline = rec.Metrics["nodes/s"]
+			break
+		}
+	}
+	if baseline <= 0 {
+		return fmt.Errorf("no serial nodes/s record in %s", path)
+	}
+	printed := 0
+	for _, rec := range b.Benchmarks {
+		v, ok := rec.Metrics["nodes/s"]
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-50s %12.0f nodes/s %8.2fx\n", rec.Name, v, v/baseline); err != nil {
+			return err
+		}
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("no nodes/s records in %s", path)
+	}
+	return nil
 }
 
 // restoreText re-emits the benchmark text benchstat consumes.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -79,5 +80,60 @@ func TestParseIgnoresMalformedLines(t *testing.T) {
 	}
 	if len(b.Benchmarks) != 2 {
 		t.Fatalf("malformed line was parsed: %d records", len(b.Benchmarks))
+	}
+}
+
+const solverSample = `goos: linux
+pkg: flex
+BenchmarkSolverScaling/serial-8      	       1	   2363996 ns/op	      4231 nodes/s
+BenchmarkSolverScaling/workers=1-8   	       1	    338744 ns/op	      8867 nodes/s
+BenchmarkSolverScaling/workers=4-8   	       1	    306173 ns/op	      9807 nodes/s
+PASS
+`
+
+func TestSpeedupTable(t *testing.T) {
+	b, err := parse(strings.NewReader(solverSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "solver.json")
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := speedupTable(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1.00x") {
+		t.Errorf("serial row not normalized to 1.00x:\n%s", got)
+	}
+	if !strings.Contains(got, "2.32x") {
+		t.Errorf("workers=4 speedup missing (want 9807/4231 = 2.32x):\n%s", got)
+	}
+	if n := strings.Count(got, "nodes/s"); n != 3 {
+		t.Errorf("printed %d rows, want 3:\n%s", n, got)
+	}
+}
+
+func TestSpeedupTableNoSerial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	data, err := json.Marshal(&Baseline{Env: map[string]string{}, Benchmarks: []Record{
+		{Name: "BenchmarkX-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := speedupTable(path, io.Discard); err == nil {
+		t.Fatal("want error when no serial nodes/s record exists")
 	}
 }

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	flexplace [-traces N] [-seed S] [-nodes N] [-maxdep R] [-srshare F]
-//	          [-reserve F] [-oversub F] [-in trace.json] [-out trace.json]
-//	          [-csvout rows.csv]
+//	flexplace [-traces N] [-seed S] [-nodes N] [-workers N] [-maxdep R]
+//	          [-srshare F] [-reserve F] [-oversub F] [-in trace.json]
+//	          [-out trace.json] [-csvout rows.csv]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ func run(args []string, out io.Writer) error {
 	traces := fs.Int("traces", 10, "number of shuffled trace variations")
 	seed := fs.Int64("seed", 1, "base random seed")
 	nodes := fs.Int("nodes", 800, "branch-and-bound node budget per ILP batch")
+	workers := fs.Int("workers", 0, "branch-and-bound workers per ILP solve (0 = NumCPU; deterministic for any value)")
 	maxDep := fs.Int("maxdep", 0, "split deployments larger than this many racks (0 = off)")
 	srShare := fs.Float64("srshare", 0.13, "software-redundant power share of demand")
 	reserve := fs.Float64("reserve", 1.0, "fraction of reserved power allocated (§VI: 0.42 for throttle-only rooms)")
@@ -96,6 +98,7 @@ func run(args []string, out io.Writer) error {
 
 	short, long, oracle := flex.FlexOfflineShort(), flex.FlexOfflineLong(), flex.FlexOfflineOracle()
 	short.MaxNodes, long.MaxNodes, oracle.MaxNodes = *nodes/2, *nodes, *nodes*2
+	short.Workers, long.Workers, oracle.Workers = *workers, *workers, *workers
 	policies := []flex.Policy{
 		flex.RandomPolicy{Seed: *seed},
 		flex.BalancedRoundRobinPolicy{},
@@ -109,7 +112,7 @@ func run(args []string, out io.Writer) error {
 	for _, pol := range policies {
 		var stranded, imbalance []float64
 		for _, tr := range variations {
-			pl, err := pol.Place(room, tr)
+			pl, err := pol.Place(context.Background(), room, tr)
 			if err != nil {
 				return fmt.Errorf("%s: %w", pol.Name(), err)
 			}

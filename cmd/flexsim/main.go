@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ func run(args []string, out io.Writer) error {
 	experiment := fs.String("experiment", "fig12", "fig12|feasibility|montecarlo|cost|designs")
 	seed := fs.Int64("seed", 1, "random seed")
 	samples := fs.Int("samples", 3, "power snapshots per (failure, utilization)")
+	workers := fs.Int("workers", 0, "branch-and-bound workers per ILP solve (0 = NumCPU; deterministic for any value)")
 	csvDir := fs.String("csvdir", "", "also write results as CSV files into this directory")
 	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
@@ -51,7 +53,7 @@ func run(args []string, out io.Writer) error {
 
 	switch *experiment {
 	case "fig12":
-		return runFigure12(out, *seed, *samples, *csvDir, milp.NewMetrics(reg))
+		return runFigure12(out, *seed, *samples, *workers, *csvDir, milp.NewMetrics(reg))
 	case "feasibility":
 		return runFeasibility(out)
 	case "montecarlo":
@@ -65,7 +67,7 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runFigure12(out io.Writer, seed int64, samples int, csvDir string, sm *milp.Metrics) error {
+func runFigure12(out io.Writer, seed int64, samples, workers int, csvDir string, sm *milp.Metrics) error {
 	room := flex.PaperRoom()
 	trace, err := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), seed)
 	if err != nil {
@@ -74,7 +76,8 @@ func runFigure12(out io.Writer, seed int64, samples int, csvDir string, sm *milp
 	pol := flex.FlexOfflineShort()
 	pol.MaxNodes = 300
 	pol.SolverMetrics = sm
-	pl, err := pol.Place(room, trace)
+	pol.Workers = workers
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package flex_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,7 +28,7 @@ func ExampleFlexOffline() {
 	trace, _ := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), 42)
 	policy := flex.FlexOfflineShort()
 	policy.MaxNodes = 150 // keep the example fast
-	pl, _ := policy.Place(room, trace)
+	pl, _ := policy.Place(context.Background(), room, trace)
 	fmt.Println("placement safe:", pl.Validate() == nil)
 	fmt.Println("stranded below 10%:", pl.StrandedFraction() < 0.10)
 	// Output:
@@ -41,7 +42,7 @@ func ExamplePlanActions() {
 	trace, _ := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), 42)
 	policy := flex.FlexOfflineShort()
 	policy.MaxNodes = 150
-	pl, _ := policy.Place(room, trace)
+	pl, _ := policy.Place(context.Background(), room, trace)
 
 	ups := make([]flex.Watts, 4)
 	for u := range ups {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	fmt.Printf("%-22s %-10s %-10s %-10s %s\n",
 		"policy", "placed", "stranded", "imbalance", "rejected deployments")
 	for _, pol := range policies {
-		pl, err := pol.Place(room, base)
+		pl, err := pol.Place(context.Background(), room, base)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	}
 	policy := flex.FlexOfflineShort()
 	policy.MaxNodes = 300
-	pl, err := policy.Place(room, trace)
+	pl, err := policy.Place(context.Background(), room, trace)
 	if err != nil {
 		log.Fatal(err)
 	}

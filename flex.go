@@ -23,6 +23,7 @@
 package flex
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -32,6 +33,8 @@ import (
 	"flex/internal/emu"
 	"flex/internal/feasibility"
 	"flex/internal/impact"
+	"flex/internal/lp"
+	"flex/internal/milp"
 	"flex/internal/placement"
 	"flex/internal/power"
 	"flex/internal/sim"
@@ -69,7 +72,39 @@ const (
 const FlexLatencyBudget = power.FlexLatencyBudget
 
 // NewTopology builds an xN/y room topology (see power.NewRoom).
+//
+// The zero RoomConfig is invalid (capacity and pair count must be set);
+// prefer NewRedundantTopology, which starts from the paper's defaults.
 func NewTopology(cfg RoomConfig) (*Topology, error) { return power.NewRoom(cfg) }
+
+// TopologyOption customizes NewRedundantTopology.
+type TopologyOption func(*RoomConfig)
+
+// WithUPSCapacity sets each UPS's rated capacity. The default is the
+// paper's 2.4 MW evaluation UPS.
+func WithUPSCapacity(w Watts) TopologyOption {
+	return func(c *RoomConfig) { c.UPSCapacity = w }
+}
+
+// WithPairsPerCombination sets how many PDU-pairs to instantiate per
+// unordered UPS combination. The default is the paper's 3 (18 pairs for
+// 4N/3).
+func WithPairsPerCombination(n int) TopologyOption {
+	return func(c *RoomConfig) { c.PairsPerCombination = n }
+}
+
+// NewRedundantTopology builds an xN/y distributed-redundant topology from
+// the design plus options, defaulting the remaining knobs to the paper's
+// §V-A room (2.4 MW UPSes, 3 PDU-pairs per combination). Unlike the bare
+// RoomConfig accepted by NewTopology, every combination of options yields
+// a fully specified configuration.
+func NewRedundantTopology(design Redundancy, opts ...TopologyOption) (*Topology, error) {
+	cfg := RoomConfig{Design: design, UPSCapacity: 2.4 * MW, PairsPerCombination: 3}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return power.NewRoom(cfg)
+}
 
 // EndOfLifeTripCurve is the conservative UPS tolerance curve Flex designs
 // against (10 s at the worst-case 133% failover load).
@@ -173,6 +208,68 @@ func FlexOfflineShort() FlexOffline  { return placement.FlexOfflineShort() }
 func FlexOfflineLong() FlexOffline   { return placement.FlexOfflineLong() }
 func FlexOfflineOracle() FlexOffline { return placement.FlexOfflineOracle() }
 
+// MILP solver surface — the engine behind Flex-Offline's batch ILP,
+// exposed for users who want to solve their own placement variants or
+// tune the search.
+type (
+	// MILPProblem is a linear program plus integrality requirements.
+	MILPProblem = milp.Problem
+	// SolveOptions tunes the parallel branch-and-bound search (workers,
+	// determinism, limits, warm starts).
+	SolveOptions = milp.Options
+	// SolveResult is one solve's outcome, including why a truncated
+	// search stopped.
+	SolveResult = milp.Result
+	// SolveStatus classifies a solve outcome.
+	SolveStatus = milp.Status
+	// StopReason says why a search stopped before proving optimality.
+	StopReason = milp.StopReason
+	// LinearProblem is a linear program over nonnegative variables.
+	LinearProblem = lp.Problem
+	// LinearConstraint is one row of a LinearProblem.
+	LinearConstraint = lp.Constraint
+	// ConstraintSense relates a constraint row to its right-hand side.
+	ConstraintSense = lp.Sense
+)
+
+// Solve statuses.
+const (
+	SolveOptimal    = milp.Optimal
+	SolveFeasible   = milp.Feasible
+	SolveInfeasible = milp.Infeasible
+	SolveUnbounded  = milp.Unbounded
+)
+
+// Stop reasons for truncated searches.
+const (
+	StopNone      = milp.StopNone
+	StopDeadline  = milp.StopDeadline
+	StopNodeLimit = milp.StopNodeLimit
+	StopCanceled  = milp.StopCanceled
+)
+
+// Constraint senses.
+const (
+	LE = lp.LE
+	GE = lp.GE
+	EQ = lp.EQ
+)
+
+// SolveMILP runs the parallel branch-and-bound solver under ctx: a
+// context deadline bounds the search (Stop == StopDeadline), and
+// cancellation returns the best incumbent with context.Cause(ctx).
+func SolveMILP(ctx context.Context, p *MILPProblem, opts SolveOptions) (SolveResult, error) {
+	return milp.SolveContext(ctx, p, opts)
+}
+
+// BatchPlacementILP builds the Flex-Offline batch ILP (Eq. 1–5) for
+// placing the batch into the room — the exact problem FlexOffline solves
+// per flush, useful as a realistic solver workload or a starting point
+// for custom placement formulations.
+func BatchPlacementILP(room *Room, batch []Deployment) *MILPProblem {
+	return placement.BatchILP(room, batch)
+}
+
 // Impact functions.
 type (
 	// ImpactFunction maps affected-rack fraction to perceived impact.
@@ -229,6 +326,13 @@ const (
 // PlanActions runs the paper's Algorithm 1 on a power snapshot.
 func PlanActions(in PlanInput) (actions []PlannedAction, insufficient bool, err error) {
 	return controller.Plan(in)
+}
+
+// PlanActionsContext is PlanActions with a cancellation point per greedy
+// iteration; on expiry it returns the truncated plan with
+// context.Cause(ctx).
+func PlanActionsContext(ctx context.Context, in PlanInput) (actions []PlannedAction, insufficient bool, err error) {
+	return controller.PlanContext(ctx, in)
 }
 
 // NewController creates a Flex-Online controller primary.

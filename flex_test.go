@@ -2,6 +2,7 @@ package flex
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	pol := FlexOfflineShort()
 	pol.MaxNodes = 150
-	pl, err := pol.Place(room, trace)
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package flex
 // its actions — with failures injected at every layer.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func TestIntegrationPlacementSafetyUnderCascade(t *testing.T) {
 	short := FlexOfflineShort()
 	short.MaxNodes = 150
 	for _, pol := range []Policy{RandomPolicy{Seed: 3}, BalancedRoundRobinPolicy{}, short} {
-		pl, err := pol.Place(room, trace)
+		pl, err := pol.Place(context.Background(), room, trace)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func TestIntegrationAlgorithm1CoversEveryFailure(t *testing.T) {
 	}
 	pol := FlexOfflineShort()
 	pol.MaxNodes = 150
-	pl, err := pol.Place(room, trace)
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestIntegrationTraceStatisticsFeedPlacement(t *testing.T) {
 	}
 	pol := FlexOfflineShort()
 	pol.MaxNodes = 150
-	pl, err := pol.Place(room, trace)
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestIntegrationControllerDeterminism(t *testing.T) {
 		}
 		pol := FlexOfflineShort()
 		pol.MaxNodes = 100
-		pl, err := pol.Place(room, trace)
+		pl, err := pol.Place(context.Background(), room, trace)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -43,6 +43,11 @@ type Config struct {
 	// Interval is the evaluation period (default 500ms — the controller
 	// must fit detection plus action well inside the 10s budget).
 	Interval time.Duration
+	// PlanBudget bounds one Algorithm 1 planning pass (default half of
+	// power.FlexLatencyBudget, leaving the other half for actuation). A
+	// pass that exceeds it is aborted and its partial plan enforced — a
+	// truncated plan still sheds real power inside the tolerance window.
+	PlanBudget time.Duration
 	// InactiveThreshold is the capacity fraction below which a UPS is
 	// considered out of service (default 0.02).
 	InactiveThreshold float64
@@ -69,6 +74,9 @@ type StepOutcome struct {
 	EnforceErrors int
 	// Insufficient is true when shaveable power ran out before safety.
 	Insufficient bool
+	// PlanAborted is true when the planning pass hit Config.PlanBudget (or
+	// the step's ctx) and the enforced plan is the truncated prefix.
+	PlanAborted bool
 	// Restored counts racks restored during recovery.
 	Restored int
 }
@@ -96,6 +104,9 @@ func New(cfg Config) *Controller {
 	}
 	if cfg.InactiveThreshold == 0 {
 		cfg.InactiveThreshold = 0.02
+	}
+	if cfg.PlanBudget <= 0 {
+		cfg.PlanBudget = power.FlexLatencyBudget / 2
 	}
 	if cfg.Buffer == 0 {
 		min := cfg.Topo.UPSes[0].Capacity
@@ -130,10 +141,18 @@ func (c *Controller) snapshotUPS() ([]power.Watts, time.Time) {
 	return out, newest
 }
 
-// Step runs one evaluation round: read snapshots, detect overdraw, plan
-// and enforce corrective actions; or, when the failed supply has returned
-// and headroom allows, restore previously acted racks.
-func (c *Controller) Step() (out StepOutcome) {
+// Step runs one evaluation round with no external cancellation point:
+// StepContext(context.Background()). The planning budget still applies.
+func (c *Controller) Step() StepOutcome {
+	return c.StepContext(context.Background())
+}
+
+// StepContext runs one evaluation round: read snapshots, detect overdraw,
+// plan and enforce corrective actions; or, when the failed supply has
+// returned and headroom allows, restore previously acted racks. Planning
+// runs under ctx bounded by Config.PlanBudget; an aborted pass enforces
+// whatever partial plan it produced.
+func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 	defer func() { c.cfg.Metrics.recordStep(&out) }()
 
 	var stepStart time.Time
@@ -203,7 +222,8 @@ func (c *Controller) Step() (out StepOutcome) {
 			}
 			return out
 		}
-		actions, insufficient, err := Plan(PlanInput{
+		planCtx, cancelPlan := context.WithTimeout(ctx, c.cfg.PlanBudget)
+		actions, insufficient, err := PlanContext(planCtx, PlanInput{
 			Topo:      c.cfg.Topo,
 			Racks:     c.cfg.Racks,
 			UPSPower:  ups,
@@ -213,12 +233,23 @@ func (c *Controller) Step() (out StepOutcome) {
 			Buffer:    c.cfg.Buffer,
 			Acted:     acted,
 		})
+		aborted := err != nil && planCtx.Err() != nil
+		cancelPlan()
 		var planEnd time.Time
 		if tr != nil {
 			planEnd = c.cfg.Clock.Now()
 			tr.Span("plan", now, planEnd)
 		}
-		if err != nil {
+		if aborted {
+			// Budget (or the caller's ctx) expired mid-plan: keep the
+			// partial plan — enforcing what Algorithm 1 got to beats
+			// enforcing nothing inside the tolerance window.
+			c.cfg.Metrics.incPlanAbort()
+			out.PlanAborted = true
+			if tr != nil {
+				tr.SetNote("plan-abort")
+			}
+		} else if err != nil {
 			c.cfg.Metrics.incPlanError()
 			if tr != nil {
 				tr.SetNote("plan-error")
@@ -350,7 +381,9 @@ func (c *Controller) rackByID(id string) *ManagedRack {
 	return nil
 }
 
-// Run evaluates repeatedly until ctx is cancelled.
+// Run evaluates repeatedly until ctx is cancelled. Each round runs as
+// StepContext(ctx), so cancellation also aborts an in-flight planning
+// pass.
 func (c *Controller) Run(ctx context.Context) {
 	for {
 		select {
@@ -358,7 +391,7 @@ func (c *Controller) Run(ctx context.Context) {
 			return
 		default:
 		}
-		c.Step()
+		c.StepContext(ctx)
 		select {
 		case <-ctx.Done():
 			return

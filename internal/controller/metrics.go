@@ -26,6 +26,9 @@ type Metrics struct {
 	StaleSkips *obs.Counter
 	// PlanErrors counts Plan invocations that failed outright.
 	PlanErrors *obs.Counter
+	// PlanAborts counts planning passes cut short by Config.PlanBudget or
+	// the step's context; their truncated plans were still enforced.
+	PlanAborts *obs.Counter
 	// PlannedShutdowns/PlannedThrottles count planned actions by kind.
 	PlannedShutdowns *obs.Counter
 	PlannedThrottles *obs.Counter
@@ -57,6 +60,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		OverdrawEpisodes: r.Counter("flex_controller_overdraw_episodes_total", "distinct overdraw episodes detected"),
 		StaleSkips:       r.Counter("flex_controller_stale_skips_total", "rounds deferred on stale telemetry"),
 		PlanErrors:       r.Counter("flex_controller_plan_errors_total", "Algorithm 1 invocations that failed"),
+		PlanAborts:       r.Counter("flex_controller_plan_aborts_total", "planning passes cut short by the plan budget"),
 		PlannedShutdowns: r.CounterVec("flex_controller_planned_actions_total", "planned corrective actions by kind", "kind").With("shutdown"),
 		PlannedThrottles: r.CounterVec("flex_controller_planned_actions_total", "planned corrective actions by kind", "kind").With("throttle"),
 		Enforced:         r.Counter("flex_controller_enforced_total", "successfully enforced corrective actions"),
@@ -125,6 +129,12 @@ func (m *Metrics) incStaleSkip() {
 func (m *Metrics) incPlanError() {
 	if m != nil {
 		m.PlanErrors.Inc()
+	}
+}
+
+func (m *Metrics) incPlanAbort() {
+	if m != nil {
+		m.PlanAborts.Inc()
 	}
 }
 

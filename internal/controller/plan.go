@@ -9,6 +9,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -88,14 +89,29 @@ type PlanInput struct {
 	Acted map[string]bool
 }
 
-// Plan is the paper's Algorithm 1: repeatedly pick, across workloads, the
-// candidate rack whose action has the least workload impact (ties: most
-// recovered power, then rack ID) until the estimated power of every UPS is
-// below its limit minus the buffer. It returns the chosen actions and
-// whether the target was reached (insufficient=false) — when every
-// shaveable rack is exhausted and some UPS is still over, insufficient is
-// true and the actions still help but cannot guarantee safety.
+// Plan runs Algorithm 1 without a cancellation point. It is shorthand for
+// PlanContext(context.Background(), in); callers on the live control path
+// should prefer PlanContext so a planning pass cannot eat into the
+// 10-second shed budget.
 func Plan(in PlanInput) (actions []PlannedAction, insufficient bool, err error) {
+	return PlanContext(context.Background(), in)
+}
+
+// PlanContext is the paper's Algorithm 1: repeatedly pick, across
+// workloads, the candidate rack whose action has the least workload impact
+// (ties: most recovered power, then rack ID) until the estimated power of
+// every UPS is below its limit minus the buffer. It returns the chosen
+// actions and whether the target was reached (insufficient=false) — when
+// every shaveable rack is exhausted and some UPS is still over,
+// insufficient is true and the actions still help but cannot guarantee
+// safety.
+//
+// ctx is checked once per greedy iteration. When it expires mid-plan the
+// actions chosen so far are returned together with insufficient=true and
+// context.Cause(ctx): a truncated plan still sheds real power, so callers
+// should enforce it rather than discard it (shedding less than needed
+// beats shedding nothing inside the overload tolerance window).
+func PlanContext(ctx context.Context, in PlanInput) (actions []PlannedAction, insufficient bool, err error) {
 	topo := in.Topo
 	if len(in.UPSPower) != len(topo.UPSes) {
 		return nil, false, fmt.Errorf("controller: UPS snapshot has %d entries for %d UPSes", len(in.UPSPower), len(topo.UPSes))
@@ -164,6 +180,9 @@ func Plan(in PlanInput) (actions []PlannedAction, insufficient bool, err error) 
 	}
 
 	for overLimit() {
+		if ctx.Err() != nil {
+			return actions, true, context.Cause(ctx)
+		}
 		// Build the candidate set C (lines 5–12): one rack per workload.
 		type candidate struct {
 			w   *wl

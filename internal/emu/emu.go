@@ -9,6 +9,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -171,7 +172,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Obs != nil {
 		solverMetrics = milp.NewMetrics(cfg.Obs)
 	}
-	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150, SolverMetrics: solverMetrics}.Place(room, trace)
+	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150, SolverMetrics: solverMetrics}.Place(context.Background(), room, trace)
 	if err != nil {
 		return nil, err
 	}

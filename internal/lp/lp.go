@@ -117,8 +117,32 @@ type Result struct {
 
 const eps = 1e-9
 
-// Solve runs two-phase primal simplex on p.
+// Solver runs two-phase primal simplex and keeps its tableau scratch
+// (one flat arena plus row/basis headers) between calls, so repeated
+// solves — every node relaxation of a branch-and-bound search — stop
+// paying a fresh (m+1)×(cols+1) allocation each time.
+//
+// The zero value is ready to use. A Solver must not be shared between
+// goroutines, but distinct Solvers are fully independent: Solve reads
+// the Problem and never mutates it, so many Solvers may work on the
+// same Problem concurrently. Result.X is freshly allocated and safe to
+// retain.
+type Solver struct {
+	arena []float64   // backing storage for the tableau, rows laid out contiguously
+	rows  [][]float64 // row headers into arena
+	basis []int       // basic-variable index per row
+}
+
+// Solve runs two-phase primal simplex on p using a throwaway Solver.
+// Callers with many solves should reuse a Solver to amortize tableau
+// allocation.
 func Solve(p *Problem) (Result, error) {
+	var s Solver
+	return s.Solve(p)
+}
+
+// Solve runs two-phase primal simplex on p, reusing the solver's scratch.
+func (s *Solver) Solve(p *Problem) (Result, error) {
 	n := p.NumVars()
 	if n == 0 {
 		return Result{}, fmt.Errorf("lp: problem has no variables")
@@ -128,7 +152,7 @@ func Solve(p *Problem) (Result, error) {
 			return Result{}, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), n)
 		}
 	}
-	t := newTableau(p)
+	t := s.newTableau(p)
 	iters := 0
 	// Phase 1: minimize sum of artificials.
 	if t.numArtificial > 0 {
@@ -172,35 +196,28 @@ type tableau struct {
 	artStart      int
 }
 
-func newTableau(p *Problem) *tableau {
+// normalizedSense is the sense of constraint c once its row has been
+// normalized to RHS >= 0 (rows with a negative RHS are negated, which
+// flips LE and GE).
+func normalizedSense(c *Constraint) Sense {
+	if c.RHS < 0 {
+		switch c.Sense {
+		case LE:
+			return GE
+		case GE:
+			return LE
+		}
+	}
+	return c.Sense
+}
+
+func (s *Solver) newTableau(p *Problem) *tableau {
 	n := p.NumVars()
 	m := len(p.Constraints)
-	// Count slack and artificial columns. Normalize rows to RHS >= 0 first.
-	type row struct {
-		coeffs []float64
-		sense  Sense
-		rhs    float64
-	}
-	rows := make([]row, m)
+	// Count slack and artificial columns for the RHS >= 0 normal form.
 	numSlack, numArt := 0, 0
-	for i, c := range p.Constraints {
-		coeffs := make([]float64, n)
-		copy(coeffs, c.Coeffs)
-		sense, rhs := c.Sense, c.RHS
-		if rhs < 0 {
-			for j := range coeffs {
-				coeffs[j] = -coeffs[j]
-			}
-			rhs = -rhs
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
-		}
-		rows[i] = row{coeffs, sense, rhs}
-		switch sense {
+	for i := range p.Constraints {
+		switch normalizedSense(&p.Constraints[i]) {
 		case LE:
 			numSlack++ // slack enters basis
 		case GE:
@@ -216,28 +233,53 @@ func newTableau(p *Problem) *tableau {
 		cols:     n + numSlack + numArt,
 		artStart: n + numSlack,
 	}
-	t.a = make([][]float64, m+1)
-	for i := range t.a {
-		t.a[i] = make([]float64, t.cols+1)
+	// Carve the (m+1)×(cols+1) tableau out of the solver's arena, growing
+	// it only when the problem outgrows what previous solves needed.
+	stride := t.cols + 1
+	need := (m + 1) * stride
+	if cap(s.arena) < need {
+		s.arena = make([]float64, need)
+	} else {
+		s.arena = s.arena[:need]
+		clear(s.arena)
 	}
-	t.basis = make([]int, m)
+	if cap(s.rows) < m+1 {
+		s.rows = make([][]float64, m+1)
+	}
+	t.a = s.rows[:m+1]
+	for i := range t.a {
+		t.a[i] = s.arena[i*stride : (i+1)*stride]
+	}
+	if cap(s.basis) < m {
+		s.basis = make([]int, m)
+	}
+	t.basis = s.basis[:m]
 	slackIdx, artIdx := n, t.artStart
-	for i, r := range rows {
-		copy(t.a[i], r.coeffs)
-		t.a[i][t.cols] = r.rhs
-		switch r.sense {
+	for i := range p.Constraints {
+		c := &p.Constraints[i]
+		row := t.a[i]
+		if c.RHS < 0 {
+			for j, v := range c.Coeffs {
+				row[j] = -v
+			}
+			row[t.cols] = -c.RHS
+		} else {
+			copy(row, c.Coeffs)
+			row[t.cols] = c.RHS
+		}
+		switch normalizedSense(c) {
 		case LE:
-			t.a[i][slackIdx] = 1
+			row[slackIdx] = 1
 			t.basis[i] = slackIdx
 			slackIdx++
 		case GE:
-			t.a[i][slackIdx] = -1
+			row[slackIdx] = -1
 			slackIdx++
-			t.a[i][artIdx] = 1
+			row[artIdx] = 1
 			t.basis[i] = artIdx
 			artIdx++
 		case EQ:
-			t.a[i][artIdx] = 1
+			row[artIdx] = 1
 			t.basis[i] = artIdx
 			artIdx++
 		}

@@ -1,0 +1,281 @@
+package milp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"flex/internal/lp"
+)
+
+// randomKnapsack builds a seeded multi-constraint binary knapsack with n
+// items; the instances have enough near-ties to force real branching.
+func randomKnapsack(seed int64, n int) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	obj := make([]float64, n)
+	for j := range obj {
+		obj[j] = 1 + float64(rng.Intn(40))
+	}
+	p := binaryProblem(true, obj)
+	for k := 0; k < 2; k++ {
+		w := make([]float64, n)
+		var total float64
+		for j := range w {
+			w[j] = 1 + float64(rng.Intn(20))
+			total += w[j]
+		}
+		p.LP.AddConstraint(w, lp.LE, math.Floor(total*0.45))
+	}
+	return p
+}
+
+// TestDeterministicAcrossWorkers is the determinism contract: with
+// Options.Deterministic, serial and parallel runs of the same problem
+// return the same objective, status, solution, and node count.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 11} {
+		p := randomKnapsack(seed, 14)
+		ref, err := SolveContext(context.Background(), p, Options{Workers: 1, Deterministic: true})
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			r, err := SolveContext(context.Background(), p, Options{Workers: workers, Deterministic: true})
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			if r.Status != ref.Status {
+				t.Errorf("seed %d workers=%d: status %v, serial %v", seed, workers, r.Status, ref.Status)
+			}
+			if math.Abs(r.Objective-ref.Objective) > 1e-9 {
+				t.Errorf("seed %d workers=%d: objective %v, serial %v", seed, workers, r.Objective, ref.Objective)
+			}
+			if r.Nodes != ref.Nodes {
+				t.Errorf("seed %d workers=%d: nodes %d, serial %d", seed, workers, r.Nodes, ref.Nodes)
+			}
+			for j := range ref.X {
+				if math.Abs(r.X[j]-ref.X[j]) > 1e-9 {
+					t.Errorf("seed %d workers=%d: x[%d]=%v, serial %v", seed, workers, j, r.X[j], ref.X[j])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialObjective checks the weaker contract of the
+// default (non-deterministic) mode: any worker count that runs the search
+// to completion proves the same optimal objective.
+func TestParallelMatchesSerialObjective(t *testing.T) {
+	for _, seed := range []int64{5, 9} {
+		p := randomKnapsack(seed, 12)
+		ref, err := SolveContext(context.Background(), p, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Status != Optimal {
+			t.Fatalf("serial status = %v", ref.Status)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			r, err := SolveContext(context.Background(), p, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Status != Optimal || math.Abs(r.Objective-ref.Objective) > 1e-9 {
+				t.Errorf("workers=%d: got %v obj=%v, want optimal %v", workers, r.Status, r.Objective, ref.Objective)
+			}
+			if r.Workers != workers {
+				t.Errorf("Result.Workers = %d, want %d", r.Workers, workers)
+			}
+		}
+	}
+}
+
+// TestConcurrentIncumbentStress hammers the shared incumbent from many
+// workers across many concurrent solves; run under -race it checks the
+// lock-free bound publication and the mutex double-check path.
+func TestConcurrentIncumbentStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := randomKnapsack(int64(100+g), 13)
+			r, err := SolveContext(context.Background(), p, Options{Workers: 8})
+			if err != nil {
+				t.Errorf("solve %d: %v", g, err)
+				return
+			}
+			if r.Status != Optimal {
+				t.Errorf("solve %d: status %v", g, r.Status)
+			}
+			if r.IncumbentImprovements < 1 {
+				t.Errorf("solve %d: no incumbent improvements recorded", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCancelReturnsIncumbent cancels mid-search and asserts a prompt
+// return carrying the best incumbent found so far, Stop == StopCanceled,
+// and context.Cause as the error.
+func TestCancelReturnsIncumbent(t *testing.T) {
+	p := randomKnapsack(21, 16)
+	cause := errors.New("operator abort")
+	ctx, cancel := context.WithCancelCause(context.Background())
+
+	// A heuristic that cancels once the search has an incumbent: the solve
+	// must still hand that incumbent back.
+	warm := GreedyBinaryIncumbent(p)
+	if warm == nil {
+		t.Fatal("greedy produced no warm start")
+	}
+	var once sync.Once
+	opts := Options{
+		Workers:   2,
+		Incumbent: warm,
+		Heuristic: func([]float64) []float64 {
+			once.Do(func() { cancel(cause) })
+			// Pace node evaluation so the remaining tree cannot be
+			// exhausted before the cancellation watcher fires.
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	}
+	start := time.Now()
+	r, err := SolveContext(ctx, p, opts)
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want cause %v", err, cause)
+	}
+	if r.Stop != StopCanceled {
+		t.Fatalf("Stop = %v, want StopCanceled", r.Stop)
+	}
+	if !errors.Is(r.Cause, cause) {
+		t.Fatalf("Cause = %v, want %v", r.Cause, cause)
+	}
+	if r.X == nil {
+		t.Fatal("canceled solve dropped the incumbent")
+	}
+	if want := p.ObjectiveValue(warm); r.Objective < want-1e-9 {
+		t.Fatalf("objective %v worse than warm start %v", r.Objective, want)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+// TestPreCanceledContext: a solve under an already-canceled context must
+// not search, but still reports the verified warm start.
+func TestPreCanceledContext(t *testing.T) {
+	p := randomKnapsack(33, 12)
+	warm := GreedyBinaryIncumbent(p)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("already done")
+	cancel(cause)
+	r, err := SolveContext(ctx, p, Options{Workers: 4, Incumbent: warm})
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want %v", err, cause)
+	}
+	if r.Stop != StopCanceled {
+		t.Fatalf("Stop = %v", r.Stop)
+	}
+	if warm != nil && r.X == nil {
+		t.Fatal("warm start lost")
+	}
+}
+
+// TestStopReasonAudit checks that every truncation path reports exactly
+// one reason through both the new Stop field and the deprecated booleans.
+func TestStopReasonAudit(t *testing.T) {
+	base := randomKnapsack(21, 18) // 67 nodes serial: deep enough to truncate
+
+	t.Run("complete", func(t *testing.T) {
+		r, err := SolveContext(context.Background(), base, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stop != StopNone || r.DeadlineHit || r.NodeLimitHit || r.Cause != nil {
+			t.Fatalf("complete search reported Stop=%v deadline=%v nodelimit=%v cause=%v",
+				r.Stop, r.DeadlineHit, r.NodeLimitHit, r.Cause)
+		}
+	})
+
+	t.Run("node-limit", func(t *testing.T) {
+		r, err := SolveContext(context.Background(), base, Options{Workers: 2, MaxNodes: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stop != StopNodeLimit || !r.NodeLimitHit || r.DeadlineHit {
+			t.Fatalf("Stop=%v NodeLimitHit=%v DeadlineHit=%v", r.Stop, r.NodeLimitHit, r.DeadlineHit)
+		}
+	})
+
+	t.Run("options-timelimit", func(t *testing.T) {
+		fake := time.Unix(0, 0)
+		var mu sync.Mutex
+		calls := 0
+		now := func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			return fake.Add(time.Duration(calls) * time.Second)
+		}
+		r, err := SolveContext(context.Background(), base, Options{Workers: 1, TimeLimit: time.Millisecond, Now: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stop != StopDeadline || !r.DeadlineHit {
+			t.Fatalf("Stop=%v DeadlineHit=%v", r.Stop, r.DeadlineHit)
+		}
+	})
+
+	t.Run("ctx-deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+		defer cancel()
+		time.Sleep(time.Millisecond)
+		r, err := SolveContext(ctx, base, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("deadline must be a budget, not an error: %v", err)
+		}
+		if r.Stop != StopDeadline || !r.DeadlineHit {
+			t.Fatalf("Stop=%v DeadlineHit=%v", r.Stop, r.DeadlineHit)
+		}
+	})
+}
+
+// TestDeterministicTruncationReproducible: Deterministic + MaxNodes gives
+// identical truncated results for any worker count.
+func TestDeterministicTruncationReproducible(t *testing.T) {
+	p := randomKnapsack(21, 18)
+	ref, err := SolveContext(context.Background(), p, Options{Workers: 1, Deterministic: true, MaxNodes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stop != StopNodeLimit {
+		t.Skipf("instance solved in %d nodes; truncation not exercised", ref.Nodes)
+	}
+	for _, workers := range []int{2, 8} {
+		r, err := SolveContext(context.Background(), p, Options{Workers: workers, Deterministic: true, MaxNodes: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Nodes != ref.Nodes || math.Abs(r.Objective-ref.Objective) > 1e-9 || r.Status != ref.Status {
+			t.Errorf("workers=%d: (%v, %v, %d nodes) != serial (%v, %v, %d nodes)",
+				workers, r.Status, r.Objective, r.Nodes, ref.Status, ref.Objective, ref.Nodes)
+		}
+	}
+}
+
+// TestObjectiveValue pins the public evaluation helper used by warm-start
+// construction.
+func TestObjectiveValue(t *testing.T) {
+	p := binaryProblem(true, []float64{3, 5})
+	if got := p.ObjectiveValue([]float64{1, 1}); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("ObjectiveValue = %v, want 8", got)
+	}
+}

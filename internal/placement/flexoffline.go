@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -39,6 +40,10 @@ type FlexOffline struct {
 	// budgets are deterministic, so two runs with the same trace produce
 	// the same placement. Zero means 1500.
 	MaxNodes int
+	// Workers is the branch-and-bound worker count per ILP solve (zero
+	// means runtime.NumCPU()). Solves run in the solver's Deterministic
+	// mode, so the placement is identical for any Workers value.
+	Workers int
 	// SkipBalanceRefinement disables the post-batch imbalance local search
 	// (used by ablation benchmarks).
 	SkipBalanceRefinement bool
@@ -109,8 +114,11 @@ func combosOf(topo *power.Topology) []combo {
 	return out
 }
 
-// Place implements Policy.
-func (f FlexOffline) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+// Place implements Policy. Successive batch ILPs are warm-started with the
+// previous batch's solution: its per-combination load profile seeds a
+// headroom-aware greedy incumbent for the next solve, so later batches
+// start pruning from a near-final bound instead of from scratch.
+func (f FlexOffline) Place(ctx context.Context, room *Room, trace []workload.Deployment) (*Placement, error) {
 	if f.BatchFraction <= 0 {
 		return nil, fmt.Errorf("placement: FlexOffline.BatchFraction must be positive")
 	}
@@ -128,19 +136,25 @@ func (f FlexOffline) Place(room *Room, trace []workload.Deployment) (*Placement,
 
 	var batch []workload.Deployment
 	var batchSum power.Watts
+	var prevLoad []float64 // previous batch's per-combo placed power (warm start)
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := f.solveBatch(s, combos, batch, timeLimit, maxNodes); err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		load, err := f.solveBatch(ctx, s, combos, batch, timeLimit, maxNodes, prevLoad)
+		if err != nil {
 			return err
 		}
+		prevLoad = load
 		if !f.SkipBalanceRefinement {
 			// Interim passes spread load only (imbalance weight 0): the
 			// throttling-imbalance metric is a property of the final
 			// placement, and folding it in early creates local optima
 			// that block the spreading moves later batches depend on.
-			f.refineBalance(s, 0)
+			f.refineBalance(ctx, s, 0)
 		}
 		batch, batchSum = nil, 0
 		return nil
@@ -160,18 +174,30 @@ func (f FlexOffline) Place(room *Room, trace []workload.Deployment) (*Placement,
 	if !f.SkipBalanceRefinement {
 		// Final global passes: spread first, then minimize the residual
 		// throttling-imbalance metric across all UPS failure combinations.
-		f.refineBalance(s, 0)
-		f.refineBalance(s, 100)
+		f.refineBalance(ctx, s, 0)
+		f.refineBalance(ctx, s, 100)
+	}
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
 	}
 	return s.result(trace), nil
 }
 
-// solveBatch builds and solves the batch ILP against the current state and
-// commits the resulting placements. All constraints are ≤ with non-negative
-// coefficients, so rounding a relaxation down is always feasible; the
-// branch-and-bound is warm-started with a greedy incumbent and given a
-// round-down-plus-completion heuristic.
-func (f FlexOffline) solveBatch(s *state, combos []combo, batch []workload.Deployment, timeLimit time.Duration, maxNodes int) error {
+// BatchILP builds the paper's Eq. 1–5 placement ILP for one batch of
+// deployments against an empty room: binary variables x[d*nc+c] choose a
+// UPS combination per deployment, maximizing placed power subject to
+// single placement, normal-operation headroom, failover safety under
+// maximal shaving, space, and the workload-diversity reserve. It exposes
+// the exact problem FlexOffline solves per batch, for benchmarks and
+// solver experiments.
+func BatchILP(room *Room, batch []workload.Deployment) *milp.Problem {
+	return FlexOffline{}.batchILP(newState(room), combosOf(room.Topo), batch)
+}
+
+// batchILP builds the batch ILP against the current committed state. All
+// constraints are ≤ with non-negative coefficients, so rounding a
+// relaxation down is always feasible.
+func (f FlexOffline) batchILP(s *state, combos []combo, batch []workload.Deployment) *milp.Problem {
 	topo := s.room.Topo
 	nd, nc := len(batch), len(combos)
 	nVars := nd * nc // binary placement vars x[d*nc+c]
@@ -304,23 +330,44 @@ func (f FlexOffline) solveBatch(s *state, combos []combo, batch []workload.Deplo
 		rhs := (s.room.CoolingCFM - float64(s.placedPow)*s.room.CFMPerWatt) / mw
 		prob.LP.AddConstraint(c, lp.LE, rhs)
 	}
+	return prob
+}
 
+// solveBatch builds and solves the batch ILP and commits the resulting
+// placements. The branch-and-bound is warm-started with the better of a
+// greedy incumbent and a headroom-aware incumbent seeded from the previous
+// batch's per-combo loads, and given a round-down-plus-completion
+// heuristic. It returns this batch's per-combo placed power for the next
+// batch's warm start.
+func (f FlexOffline) solveBatch(ctx context.Context, s *state, combos []combo, batch []workload.Deployment, timeLimit time.Duration, maxNodes int, prevLoad []float64) ([]float64, error) {
+	nc := len(combos)
+	prob := f.batchILP(s, combos, batch)
 	heuristic := func(relaxed []float64) []float64 {
 		return roundDownAndComplete(prob, relaxed, nc)
 	}
-	res, err := milp.Solve(prob, milp.Options{
-		TimeLimit: timeLimit,
-		MaxNodes:  maxNodes,
-		Incumbent: milp.GreedyBinaryIncumbent(prob),
-		Heuristic: heuristic,
-		Metrics:   f.SolverMetrics,
+	incumbent := milp.GreedyBinaryIncumbent(prob)
+	if warm := warmIncumbent(prob, batch, nc, prevLoad); warm != nil {
+		if incumbent == nil || prob.ObjectiveValue(warm) > prob.ObjectiveValue(incumbent) {
+			incumbent = warm
+		}
+	}
+	res, err := milp.SolveContext(ctx, prob, milp.Options{
+		Workers: f.Workers,
+		// Deterministic mode keeps the placement identical for any worker
+		// count: reproducible placements are part of FlexOffline's contract.
+		Deterministic: true,
+		TimeLimit:     timeLimit,
+		MaxNodes:      maxNodes,
+		Incumbent:     incumbent,
+		Heuristic:     heuristic,
+		Metrics:       f.SolverMetrics,
 		// The placement objective is in MW; differences below ~0.1% of a
 		// batch are far below a single deployment, so a 0.1% gap trades
 		// no placement quality for a large node-count reduction.
 		RelGap: 0.001,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var x []float64
 	switch res.Status {
@@ -331,17 +378,19 @@ func (f FlexOffline) solveBatch(s *state, combos []combo, batch []workload.Deplo
 		// No incumbent at all (cannot happen with a greedy warm start, but
 		// stay defensive): greedy per-deployment placement.
 		f.greedyBatch(s, batch)
-		return nil
+		return nil, nil
 	}
 	// Commit: distribute the chosen deployments of each combo across its
 	// PDU-pairs. The ILP's space constraint is aggregate per combo, so an
 	// exact bin-packing search recovers a pair-level assignment whenever
 	// one exists; only genuinely unpackable leftovers fall back.
 	byCombo := make([][]workload.Deployment, nc)
+	load := make([]float64, nc)
 	for di, d := range batch {
 		for ci := 0; ci < nc; ci++ {
 			if x[di*nc+ci] > 0.5 {
 				byCombo[ci] = append(byCombo[ci], d)
+				load[ci] += float64(d.TotalPower())
 				break
 			}
 		}
@@ -349,7 +398,65 @@ func (f FlexOffline) solveBatch(s *state, combos []combo, batch []workload.Deplo
 	for ci, ds := range byCombo {
 		f.commitCombo(s, combos[ci], ds)
 	}
-	return nil
+	return load, nil
+}
+
+// warmIncumbent builds a feasible 0/1 warm start for the batch ILP from the
+// previous batch's per-combo load profile: deployments (largest first) go
+// to the feasible combination carrying the least cumulative power, so the
+// incumbent inherits the spread the previous solve converged to instead of
+// piling onto the first combination the way a plain greedy does. Returns
+// nil when there is no previous profile.
+func warmIncumbent(prob *milp.Problem, batch []workload.Deployment, nc int, prevLoad []float64) []float64 {
+	if len(prevLoad) != nc || nc == 0 {
+		return nil
+	}
+	nd := len(batch)
+	x := make([]float64, nd*nc)
+	slack := make([]float64, len(prob.LP.Constraints))
+	for i, c := range prob.LP.Constraints {
+		slack[i] = c.RHS
+	}
+	fits := func(j int) bool {
+		for i, c := range prob.LP.Constraints {
+			if j < len(c.Coeffs) && c.Coeffs[j] > slack[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	take := func(j int) {
+		x[j] = 1
+		for i, c := range prob.LP.Constraints {
+			if j < len(c.Coeffs) {
+				slack[i] -= c.Coeffs[j]
+			}
+		}
+	}
+	load := append([]float64(nil), prevLoad...)
+	order := make([]int, nd)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return batch[order[a]].TotalPower() > batch[order[b]].TotalPower()
+	})
+	for _, di := range order {
+		bestC := -1
+		for ci := 0; ci < nc; ci++ {
+			if !fits(di*nc + ci) {
+				continue
+			}
+			if bestC < 0 || load[ci] < load[bestC]-1e-9 {
+				bestC = ci
+			}
+		}
+		if bestC >= 0 {
+			take(di*nc + bestC)
+			load[bestC] += float64(batch[di].TotalPower())
+		}
+	}
+	return x
 }
 
 // commitCombo places the deployments assigned to one combo onto its pairs,
@@ -561,9 +668,10 @@ func (s *state) balanceScore(imbalanceWeight float64) float64 {
 
 // refineBalance hill-climbs balanceScore by relocating placed deployments
 // between PDU-pairs (placed power is unchanged; every move re-validates
-// all constraints through the state). The search stops at a local optimum
-// or after a bounded number of sweeps.
-func (f FlexOffline) refineBalance(s *state, imbalanceWeight float64) {
+// all constraints through the state). The search stops at a local optimum,
+// after a bounded number of sweeps, or — since refinement is optional
+// polish — as soon as ctx is done.
+func (f FlexOffline) refineBalance(ctx context.Context, s *state, imbalanceWeight float64) {
 	const maxSweeps = 12
 	ids := make([]int, 0, len(s.placed))
 	for id := range s.placed {
@@ -572,6 +680,9 @@ func (f FlexOffline) refineBalance(s *state, imbalanceWeight float64) {
 	sort.Ints(ids)
 	byID := s.deploymentsByID()
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if ctx.Err() != nil {
+			return
+		}
 		improved := false
 		cur := s.balanceScore(imbalanceWeight)
 		for _, id := range ids {

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestHeterogeneousRoomPlacementSafety(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pol := range []Policy{BalancedRoundRobin{}, FlexOffline{BatchFraction: 0.5, MaxNodes: 150}} {
-		pl, err := pol.Place(room, trace)
+		pl, err := pol.Place(context.Background(), room, trace)
 		if err != nil {
 			t.Fatalf("%s: %v", pol.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,13 +44,13 @@ func TestOversubscriptionPlacesMorePower(t *testing.T) {
 	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
 
 	base, _ := NewRoom(topo, 120)
-	plBase, err := pol.Place(base, trace)
+	plBase, err := pol.Place(context.Background(), base, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
 	over, _ := NewRoom(topo, 120)
 	over.Oversubscription = 1.15
-	plOver, err := pol.Place(over, trace)
+	plOver, err := pol.Place(context.Background(), over, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestOversubscriptionValidateConsistency(t *testing.T) {
 	over, _ := NewRoom(topo, 120)
 	over.Oversubscription = 1.15
 	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
-	pl, err := pol.Place(over, trace)
+	pl, err := pol.Place(context.Background(), over, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestPairCapacityConstraint(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pol := range []Policy{BalancedRoundRobin{}, FlexOffline{BatchFraction: 0.5, MaxNodes: 150}} {
-		pl, err := pol.Place(room, trace)
+		pl, err := pol.Place(context.Background(), room, trace)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -72,7 +73,7 @@ func TestPartialReserveThrottleOnly(t *testing.T) {
 	}
 	trace := publicCloudTrace(t, power.Watts(1.15*float64(room.AllocatablePower())), 3)
 	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
-	pl, err := pol.Place(room, trace)
+	pl, err := pol.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +115,11 @@ func TestPartialReserveGainOverConventional(t *testing.T) {
 	conv, _ := PartialReserveRoom(topo, 60, 0)
 	trace := publicCloudTrace(t, 11*power.MW, 5)
 	pol := FlexOffline{BatchFraction: 0.5, MaxNodes: 150}
-	plPartial, err := pol.Place(partial, trace)
+	plPartial, err := pol.Place(context.Background(), partial, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plConv, err := pol.Place(conv, trace)
+	plConv, err := pol.Place(context.Background(), conv, trace)
 	if err != nil {
 		t.Fatal(err)
 	}

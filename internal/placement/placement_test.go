@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -74,7 +75,7 @@ func TestAllPoliciesProduceSafePlacements(t *testing.T) {
 	room := PaperRoom()
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 7)
 	for _, pol := range allPolicies() {
-		pl, err := pol.Place(room, trace)
+		pl, err := pol.Place(context.Background(), room, trace)
 		if err != nil {
 			t.Fatalf("%s: %v", pol.Name(), err)
 		}
@@ -92,7 +93,7 @@ func TestAllPoliciesProduceSafePlacements(t *testing.T) {
 func TestSafePlacementPreventsCascade(t *testing.T) {
 	room := PaperRoom()
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 3)
-	pl, err := BalancedRoundRobin{}.Place(room, trace)
+	pl, err := BalancedRoundRobin{}.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestFlexOfflineBeatsNaivePolicies(t *testing.T) {
 	n := 3
 	for i := 0; i < n; i++ {
 		tr := workload.Shuffle(base, rand.New(rand.NewSource(int64(100+i))))
-		rp, err := Random{Seed: int64(i)}.Place(room, tr)
+		rp, err := Random{Seed: int64(i)}.Place(context.Background(), room, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fp, err := fastFlexOffline(0.33, "short").Place(room, tr)
+		fp, err := fastFlexOffline(0.33, "short").Place(context.Background(), room, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestFlexOfflineBeatsNaivePolicies(t *testing.T) {
 func TestStrandedPowerEquation(t *testing.T) {
 	room := PaperRoom()
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 5)
-	pl, err := FirstFit{}.Place(room, trace)
+	pl, err := FirstFit{}.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestThrottlingImbalanceProperties(t *testing.T) {
 	room := PaperRoom()
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 9)
 	for _, pol := range []Policy{Random{Seed: 4}, BalancedRoundRobin{}} {
-		pl, err := pol.Place(room, trace)
+		pl, err := pol.Place(context.Background(), room, trace)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,11 +181,11 @@ func TestBalancedRoundRobinImprovesImbalanceOverFirstFit(t *testing.T) {
 	n := 3
 	for i := 0; i < n; i++ {
 		tr := workload.Shuffle(base, rand.New(rand.NewSource(int64(i))))
-		ff, err := FirstFit{}.Place(room, tr)
+		ff, err := FirstFit{}.Place(context.Background(), room, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		brr, err := BalancedRoundRobin{}.Place(room, tr)
+		brr, err := BalancedRoundRobin{}.Place(context.Background(), room, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func TestBalancedRoundRobinImprovesImbalanceOverFirstFit(t *testing.T) {
 func TestPlacedUnplacedPartition(t *testing.T) {
 	room := PaperRoom()
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 13)
-	pl, err := BalancedRoundRobin{}.Place(room, trace)
+	pl, err := BalancedRoundRobin{}.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestPlacedUnplacedPartition(t *testing.T) {
 func TestUPSUtilizationWithinBounds(t *testing.T) {
 	room := PaperRoom()
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 17)
-	pl, err := RoundRobin{}.Place(room, trace)
+	pl, err := RoundRobin{}.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestUPSUtilizationWithinBounds(t *testing.T) {
 func TestPlacedPowerByCategoryDiversity(t *testing.T) {
 	room := PaperRoom()
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 19)
-	pl, err := BalancedRoundRobin{}.Place(room, trace)
+	pl, err := BalancedRoundRobin{}.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestPlacedPowerByCategoryDiversity(t *testing.T) {
 
 func TestFlexOfflineRejectsBadBatchFraction(t *testing.T) {
 	room := PaperRoom()
-	if _, err := (FlexOffline{}).Place(room, nil); err == nil {
+	if _, err := (FlexOffline{}).Place(context.Background(), room, nil); err == nil {
 		t.Fatal("expected error for zero batch fraction")
 	}
 }
@@ -283,7 +284,7 @@ func TestCoolingConstraintLimitsPlacement(t *testing.T) {
 	room.CoolingCFM = 2e6
 	room.CFMPerWatt = 1
 	trace := testTrace(t, room.Topo.ProvisionedPower(), 23)
-	pl, err := BalancedRoundRobin{}.Place(room, trace)
+	pl, err := BalancedRoundRobin{}.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 
 	"flex/internal/power"
@@ -19,7 +20,7 @@ type Random struct {
 func (Random) Name() string { return "Random" }
 
 // Place implements Policy.
-func (r Random) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+func (r Random) Place(ctx context.Context, room *Room, trace []workload.Deployment) (*Placement, error) {
 	rng := rand.New(rand.NewSource(r.Seed))
 	s := newState(room)
 	order := make([]power.PDUPairID, len(room.Topo.Pairs))
@@ -27,6 +28,9 @@ func (r Random) Place(room *Room, trace []workload.Deployment) (*Placement, erro
 		order[i] = power.PDUPairID(i)
 	}
 	for _, d := range trace {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, pid := range order {
 			if s.canPlace(d, pid) {
@@ -47,11 +51,14 @@ type RoundRobin struct{}
 func (RoundRobin) Name() string { return "RoundRobin" }
 
 // Place implements Policy.
-func (RoundRobin) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+func (RoundRobin) Place(ctx context.Context, room *Room, trace []workload.Deployment) (*Placement, error) {
 	s := newState(room)
 	n := len(room.Topo.Pairs)
 	next := 0
 	for _, d := range trace {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		for off := 0; off < n; off++ {
 			pid := power.PDUPairID((next + off) % n)
 			if s.canPlace(d, pid) {
@@ -76,7 +83,7 @@ type BalancedRoundRobin struct{}
 func (BalancedRoundRobin) Name() string { return "BalancedRoundRobin" }
 
 // Place implements Policy.
-func (BalancedRoundRobin) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+func (BalancedRoundRobin) Place(ctx context.Context, room *Room, trace []workload.Deployment) (*Placement, error) {
 	s := newState(room)
 	order := interleavedPairOrder(room.Topo)
 	n := len(order)
@@ -86,6 +93,9 @@ func (BalancedRoundRobin) Place(room *Room, trace []workload.Deployment) (*Place
 	}
 	next := map[workload.Category]int{}
 	for _, d := range trace {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		loads := catLoad[d.Category]
 		start := next[d.Category]
 		best, bestIdx := power.PDUPairID(-1), -1
@@ -148,9 +158,12 @@ type FirstFit struct{}
 func (FirstFit) Name() string { return "FirstFit" }
 
 // Place implements Policy.
-func (FirstFit) Place(room *Room, trace []workload.Deployment) (*Placement, error) {
+func (FirstFit) Place(ctx context.Context, room *Room, trace []workload.Deployment) (*Placement, error) {
 	s := newState(room)
 	for _, d := range trace {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		for pid := range room.Topo.Pairs {
 			if s.canPlace(d, power.PDUPairID(pid)) {
 				s.place(d, power.PDUPairID(pid))

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -128,7 +129,7 @@ func TestRandomTracePlacementSafetyProperty(t *testing.T) {
 			return false
 		}
 		for _, pol := range []Policy{Random{Seed: seed}, BalancedRoundRobin{}} {
-			pl, err := pol.Place(room, trace)
+			pl, err := pol.Place(context.Background(), room, trace)
 			if err != nil {
 				return false
 			}

@@ -16,6 +16,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 
 	"flex/internal/power"
@@ -286,8 +287,11 @@ func (p *Placement) Validate() error {
 	return nil
 }
 
-// Policy places a trace of deployment requests into a room.
+// Policy places a trace of deployment requests into a room. Place honors
+// ctx: policies return early with context.Cause(ctx) when it is canceled,
+// and deadline-aware policies (FlexOffline) budget their ILP solves
+// against it.
 type Policy interface {
 	Name() string
-	Place(room *Room, trace []workload.Deployment) (*Placement, error)
+	Place(ctx context.Context, room *Room, trace []workload.Deployment) (*Placement, error)
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestRowAwarePlacementSafety(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pol := range []Policy{BalancedRoundRobin{}, FlexOffline{BatchFraction: 0.5, MaxNodes: 150}} {
-		pl, err := pol.Place(room, trace)
+		pl, err := pol.Place(context.Background(), room, trace)
 		if err != nil {
 			t.Fatalf("%s: %v", pol.Name(), err)
 		}
@@ -113,11 +114,11 @@ func TestRowFragmentationReducesCapacity(t *testing.T) {
 	flat := EmulationRoom()
 	rows := rowRoom(t)
 	pol := BalancedRoundRobin{}
-	plFlat, err := pol.Place(flat, trace)
+	plFlat, err := pol.Place(context.Background(), flat, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plRows, err := pol.Place(rows, trace)
+	plRows, err := pol.Place(context.Background(), rows, trace)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 
 	"flex/internal/power"
@@ -28,14 +29,15 @@ type SitePlacement struct {
 
 // Place routes the trace through the site's rooms in order with the given
 // policy. Each room sees only the deployments every earlier room rejected.
-func (s *Site) Place(policy Policy, trace []workload.Deployment) (*SitePlacement, error) {
+// ctx bounds the whole routing pass; it is handed to each room's solve.
+func (s *Site) Place(ctx context.Context, policy Policy, trace []workload.Deployment) (*SitePlacement, error) {
 	if len(s.Rooms) == 0 {
 		return nil, fmt.Errorf("placement: site %q has no rooms", s.Name)
 	}
 	out := &SitePlacement{Site: s}
 	remaining := trace
 	for _, room := range s.Rooms {
-		pl, err := policy.Place(room, remaining)
+		pl, err := policy.Place(ctx, room, remaining)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestSiteRoutesRejectedDeployments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := site.Place(FlexOffline{BatchFraction: 0.5, MaxNodes: 150}, trace)
+	sp, err := site.Place(context.Background(), FlexOffline{BatchFraction: 0.5, MaxNodes: 150}, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestSiteRoutesRejectedDeployments(t *testing.T) {
 }
 
 func TestSiteValidation(t *testing.T) {
-	if _, err := (&Site{}).Place(FirstFit{}, nil); err == nil {
+	if _, err := (&Site{}).Place(context.Background(), FirstFit{}, nil); err == nil {
 		t.Error("expected error for empty site")
 	}
 	if _, err := NewUniformSite("x", 0); err == nil {
@@ -72,7 +73,7 @@ func TestSiteOverflowBeyondCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := site.Place(BalancedRoundRobin{}, trace)
+	sp, err := site.Place(context.Background(), BalancedRoundRobin{}, trace)
 	if err != nil {
 		t.Fatal(err)
 	}

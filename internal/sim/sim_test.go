@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ func placedRoom(t *testing.T) *placement.Placement {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150}.Place(room, trace)
+	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150}.Place(context.Background(), room, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
