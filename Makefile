@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-solver figures fuzz examples ci clean
+.PHONY: all build vet lint test race cover bench bench-solver figures fuzz examples replay-smoke ci clean
 
 all: build vet lint test
 
@@ -13,8 +13,9 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: clock hygiene, float equality, unit
-# mixing, lock discipline, discarded shed-critical errors. See DESIGN.md
-# ("Static analysis & correctness tooling") and internal/analysis.
+# mixing, lock discipline, flight-recorder emission discipline, discarded
+# shed-critical errors. See DESIGN.md ("Static analysis & correctness
+# tooling") and internal/analysis.
 lint:
 	$(GO) run ./cmd/flexlint ./...
 
@@ -24,11 +25,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Records a compressed UPS-failure episode with the flight recorder and
+# replays it: the replayed planning decisions must match the recorded
+# ones exactly (empty diff), or flexreplay exits non-zero.
+replay-smoke:
+	$(GO) run ./cmd/flexsim -experiment episode -record /tmp/flex-episode.jsonl
+	$(GO) run ./cmd/flexreplay -min-plans 1 /tmp/flex-episode.jsonl
+
 # What CI runs (.github/workflows/ci.yml): the full gate plus a race pass
-# over the concurrent packages and a flexmon smoke run with the
-# observability surface enabled.
-ci: build vet lint test
-	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/milp/... ./internal/lp/...
+# over the concurrent packages, a flexmon smoke run with the
+# observability surface enabled, and the record→replay determinism check.
+ci: build vet lint test replay-smoke
+	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/obs/... ./internal/replay/... ./internal/milp/... ./internal/lp/...
 	$(GO) run ./cmd/flexmon -quick -metrics -listen 127.0.0.1:0
 
 cover:

@@ -1,8 +1,9 @@
 // Command flexlint runs Flex's custom correctness analyzers over the
 // repository: clockcheck (injected-clock discipline), floateq (no exact
 // float comparison in the numeric packages), unitcheck (no mixed power
-// units), locksend (no blocking operations under a mutex), and shedcheck
-// (no discarded errors on the power-shedding path).
+// units), locksend (no blocking operations under a mutex), eventcheck
+// (no flight-recorder emission under a mutex), and shedcheck (no
+// discarded errors on the power-shedding path).
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 
 	"flex/internal/analysis"
 	"flex/internal/analysis/clockcheck"
+	"flex/internal/analysis/eventcheck"
 	"flex/internal/analysis/floateq"
 	"flex/internal/analysis/locksend"
 	"flex/internal/analysis/shedcheck"
@@ -32,6 +34,7 @@ import (
 // analyzers is the flexlint suite.
 var analyzers = []*analysis.Analyzer{
 	clockcheck.Analyzer,
+	eventcheck.Analyzer,
 	floateq.Analyzer,
 	locksend.Analyzer,
 	shedcheck.Analyzer,

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	flexmon [-util F] [-scenario NAME] [-csv] [-quick] [-metrics] [-listen ADDR]
+//	flexmon [-util F] [-scenario NAME] [-csv] [-quick] [-metrics] [-listen ADDR] [-record FILE]
 //
 // With -listen the run exposes a live introspection surface (/metrics,
-// /debug/vars, /debug/pprof, /traces) for the duration of the emulation.
+// /debug/vars, /debug/pprof, /traces, /events) for the duration of the
+// emulation. With -record the whole run is captured as a replayable
+// flight-recorder event log (see flexreplay).
 package main
 
 import (
@@ -39,7 +41,8 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "compressed timeline (fail @4min, 10min total)")
 	seed := fs.Int64("seed", 1, "random seed")
 	metrics := fs.Bool("metrics", false, "print a metrics summary CSV after the run")
-	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof, /traces on this address during the run (e.g. :8080)")
+	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof, /traces, /events on this address during the run (e.g. :8080)")
+	record := fs.String("record", "", "write the flight-recorder event log to this file (JSONL, replayable with flexreplay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,19 +63,36 @@ func run(args []string, out io.Writer) error {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
+	var rec *flex.FlightRecorder
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		// A full 24-minute run at 500ms ticks emits a few hundred thousand
+		// events; every one reaches the sink, the ring just bounds /events.
+		rec = flex.NewFlightRecorder(1 << 18)
+		rec.AttachSink(flex.NewFlightSink(f))
+		defer func() {
+			if err := rec.DetachSink(); err != nil {
+				fmt.Fprintln(os.Stderr, "flexmon: flushing event log:", err)
+			}
+			fmt.Fprintf(out, "recorded %d events to %s\n", rec.Emitted(), *record)
+		}()
+	}
 	// A metric that exists before the emulation starts, so /metrics is
 	// never empty for an early scraper.
 	reg.Gauge("flex_up", "1 while the process is running").Set(1)
 	if *listen != "" {
-		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg, Tracer: tracer})
+		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg, Tracer: tracer, Events: rec})
 		if err != nil {
 			return err
 		}
 		defer stop()
-		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof /traces)\n", addr)
+		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof /traces /events)\n", addr)
 	}
 
-	cfg := flex.EmulationConfig{Utilization: *util, Scenario: &sc, Seed: *seed, Obs: reg, Tracer: tracer}
+	cfg := flex.EmulationConfig{Utilization: *util, Scenario: &sc, Seed: *seed, Obs: reg, Tracer: tracer, Recorder: rec}
 	if *quick {
 		cfg.Tick = time.Second
 		cfg.FailAt = 4 * time.Minute

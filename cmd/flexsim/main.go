@@ -1,10 +1,16 @@
 // Command flexsim runs the Flex analyses and snapshot simulations:
 //
 //	flexsim -experiment fig12        Figure 12 runtime-decision sweep
+//	flexsim -experiment episode      §V-C UPS-failure episode (replayable)
 //	flexsim -experiment feasibility  §III joint-probability analysis
 //	flexsim -experiment montecarlo   §III Monte Carlo cross-check
 //	flexsim -experiment cost         §I construction-cost savings
 //	flexsim -experiment designs      §II-A redundancy design comparison
+//
+// -record FILE writes a flight-recorder event log (length-prefixed
+// JSONL). An episode recording starts with a replay header and can be
+// re-driven with flexreplay; fig12 recordings are headerless and are for
+// /events browsing only.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"flex"
 	"flex/internal/milp"
@@ -30,30 +37,55 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("flexsim", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig12", "fig12|feasibility|montecarlo|cost|designs")
+	experiment := fs.String("experiment", "fig12", "fig12|episode|feasibility|montecarlo|cost|designs")
 	seed := fs.Int64("seed", 1, "random seed")
 	samples := fs.Int("samples", 3, "power snapshots per (failure, utilization)")
 	workers := fs.Int("workers", 0, "branch-and-bound workers per ILP solve (0 = NumCPU; deterministic for any value)")
 	csvDir := fs.String("csvdir", "", "also write results as CSV files into this directory")
 	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run (e.g. :8080)")
+	record := fs.String("record", "", "write the flight-recorder event log to this file (JSONL)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var rec *flex.FlightRecorder
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		// 1<<18 events outlasts the compressed episode run; Overwritten()
+		// is checked below so a silently truncated ring cannot masquerade
+		// as a complete log.
+		rec = flex.NewFlightRecorder(1 << 18)
+		rec.AttachSink(flex.NewFlightSink(f))
+		defer func() {
+			if err := rec.DetachSink(); err != nil {
+				fmt.Fprintln(os.Stderr, "flexsim: flushing event log:", err)
+			}
+			if n := rec.Overwritten(); n > 0 {
+				fmt.Fprintf(os.Stderr, "flexsim: ring overwrote %d events; the in-memory log is incomplete\n", n)
+			}
+			fmt.Fprintf(out, "recorded %d events to %s\n", rec.Emitted(), *record)
+		}()
 	}
 
 	reg := obs.NewRegistry()
 	reg.Gauge("flex_up", "1 while the process is running").Set(1)
 	if *listen != "" {
-		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg})
+		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg, Events: rec})
 		if err != nil {
 			return err
 		}
 		defer stop()
-		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof)\n", addr)
+		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof /events)\n", addr)
 	}
 
 	switch *experiment {
 	case "fig12":
-		return runFigure12(out, *seed, *samples, *workers, *csvDir, milp.NewMetrics(reg))
+		return runFigure12(out, *seed, *samples, *workers, *csvDir, milp.NewMetrics(reg), rec)
+	case "episode":
+		return runEpisode(out, *seed, rec)
 	case "feasibility":
 		return runFeasibility(out)
 	case "montecarlo":
@@ -67,7 +99,33 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runFigure12(out io.Writer, seed int64, samples, workers int, csvDir string, sm *milp.Metrics) error {
+// runEpisode drives the compressed §V-C emulation — setup, single-UPS
+// failure at 4 minutes, recovery at 7 — so a complete, replayable
+// overdraw episode is captured in a few hundred milliseconds of wall
+// time on the virtual clock.
+func runEpisode(out io.Writer, seed int64, rec *flex.FlightRecorder) error {
+	res, err := flex.RunEmulation(flex.EmulationConfig{
+		Tick:      time.Second,
+		FailAt:    4 * time.Minute,
+		RecoverAt: 7 * time.Minute,
+		Duration:  10 * time.Minute,
+		Seed:      seed,
+		Recorder:  rec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "episode: UPS failure at 4m, recovery at 7m (virtual clock)\n")
+	fmt.Fprintf(out, "  detection latency: %v, shave latency: %v\n", res.DetectionLatency, res.ShaveLatency)
+	fmt.Fprintf(out, "  SR shutdown: %.0f%%, cap-able throttled: %.0f%%, outage: %v, restored: %v\n",
+		res.SRShutdownFrac*100, res.CapThrottledFrac*100, res.Outage, res.RestoredAll)
+	if rec != nil && rec.Overwritten() > 0 {
+		return fmt.Errorf("flight-recorder ring overwrote %d events; recording is not replayable", rec.Overwritten())
+	}
+	return nil
+}
+
+func runFigure12(out io.Writer, seed int64, samples, workers int, csvDir string, sm *milp.Metrics, rec *flex.FlightRecorder) error {
 	room := flex.PaperRoom()
 	trace, err := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), seed)
 	if err != nil {
@@ -89,6 +147,7 @@ func runFigure12(out io.Writer, seed int64, samples, workers int, csvDir string,
 			Utilizations:      []float64{0.74, 0.76, 0.78, 0.80, 0.82, 0.84},
 			SamplesPerFailure: samples,
 			Seed:              seed,
+			Recorder:          rec,
 		})
 		if err != nil {
 			return err

@@ -35,8 +35,10 @@ import (
 	"flex/internal/impact"
 	"flex/internal/lp"
 	"flex/internal/milp"
+	"flex/internal/obs/recorder"
 	"flex/internal/placement"
 	"flex/internal/power"
+	"flex/internal/replay"
 	"flex/internal/sim"
 	"flex/internal/telemetry"
 	"flex/internal/workload"
@@ -408,6 +410,43 @@ func RunFigure12(cfg Figure12Config) ([]Figure12Point, error) { return sim.RunFi
 
 // RunEmulation executes the Figure 13 end-to-end emulation.
 func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) { return emu.Run(cfg) }
+
+// Flight recorder: the causally-ordered event log every subsystem can
+// emit into (telemetry, consensus, planning, actuation), and the
+// deterministic episode replay built on it.
+type (
+	// FlightRecorder is the bounded in-memory event ring (plus optional
+	// JSONL sink). Hand one to EmulationConfig.Recorder, PipelineConfig.
+	// Recorder, or the controller/rackmgr configs.
+	FlightRecorder = recorder.Recorder
+	// FlightEvent is one recorded event.
+	FlightEvent = recorder.Event
+	// FlightEventType enumerates the event taxonomy.
+	FlightEventType = recorder.Type
+	// FlightFilter selects events (episode, type, actor, seq range …).
+	FlightFilter = recorder.Filter
+	// FlightSink persists events as length-prefixed JSONL.
+	FlightSink = recorder.Sink
+	// ReplayHeader is the episode-log preamble pinning room, scenario and
+	// managed racks.
+	ReplayHeader = replay.Header
+	// ReplayReport is the recorded-vs-replayed decision diff.
+	ReplayReport = replay.Report
+)
+
+// NewFlightRecorder creates a flight recorder retaining the last capacity
+// events (default 8192 when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder { return recorder.New(capacity) }
+
+// NewFlightSink wraps w as a length-prefixed JSONL event sink.
+func NewFlightSink(w io.Writer) *FlightSink { return recorder.NewSink(w) }
+
+// ReadFlightEvents parses a length-prefixed JSONL event log.
+func ReadFlightEvents(r io.Reader) ([]FlightEvent, error) { return recorder.ReadEvents(r) }
+
+// ReplayEvents re-drives every recorded planning pass of an episode log
+// and diffs the replayed decisions against the recorded ones.
+func ReplayEvents(events []FlightEvent) (*ReplayReport, error) { return replay.Replay(events) }
 
 // Analyses.
 type (

@@ -1,0 +1,262 @@
+// Package eventcheck flags flight-recorder emission while a sync.Mutex
+// or sync.RWMutex is held: any method call on obs/recorder.Recorder
+// (Emit, NextEpisode, …) inside a critical section.
+//
+// Recorder methods take the recorder's internal lock and, with a sink
+// attached, Emit serializes JSON and writes it under that lock. Calling
+// them while holding a component mutex nests the two locks, stretches
+// the component's critical section across serialization and I/O, and —
+// because hot paths like the telemetry fan-out and the actuation path
+// are themselves recorded — is the canonical recipe for lock-order
+// inversion between a component and its recorder. Every instrumented
+// path in the repo collects what it needs under its lock, unlocks, then
+// emits; this analyzer keeps it that way.
+//
+// The held-lock tracking mirrors locksend's lexical walk: a lock is held
+// from x.Lock()/x.RLock() to x.Unlock()/x.RUnlock() in the same
+// statement sequence, a deferred unlock holds to the end of the
+// function, branches get a copy of the held set, and goroutine bodies
+// start clean.
+package eventcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"flex/internal/analysis"
+)
+
+// Analyzer is the eventcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventcheck",
+	Doc: "flag flight-recorder emission while a sync mutex is held\n\n" +
+		"Recorder methods lock internally and may write to a sink; calling\n" +
+		"them under a component mutex nests locks and drags serialization\n" +
+		"and I/O into the critical section. Emit after unlocking.",
+	Run: run,
+}
+
+// mutexRecvs are receiver types whose Lock/Unlock family manages a mutex.
+var mutexRecvs = map[string]bool{
+	"*sync.Mutex":   true,
+	"*sync.RWMutex": true,
+	"sync.Locker":   true,
+}
+
+// recorderSuffix identifies the flight-recorder type across fixture and
+// real import paths.
+const recorderSuffix = "internal/obs/recorder.Recorder"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c.walkStmts(fn.Body.List, nil)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// walkStmts threads the held-lock set through a statement sequence and
+// returns it as of the end.
+func (c *checker) walkStmts(stmts []ast.Stmt, held []string) []string {
+	for _, stmt := range stmts {
+		held = c.walkStmt(stmt, held)
+	}
+	return held
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, held []string) []string {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind := c.lockOp(call); kind == opLock {
+				return append(copyOf(held), key)
+			} else if kind == opUnlock {
+				return remove(held, key)
+			}
+		}
+		c.checkExpr(s.X, held)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, held)
+		c.checkExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.checkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the remaining walk;
+		// a deferred Emit runs at return, possibly still under a deferred
+		// unlock registered earlier, but ordering deferred calls is beyond
+		// this lexical analysis.
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkStmts(lit.Body.List, nil)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		c.walkStmts(s.Body.List, copyOf(held))
+		if s.Else != nil {
+			c.walkStmt(s.Else, copyOf(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held)
+		}
+		body := copyOf(held)
+		body = c.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			c.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held)
+		c.walkStmts(s.Body.List, copyOf(held))
+	case *ast.BlockStmt:
+		held = c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		held = c.walkStmt(s.Stmt, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyOf(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyOf(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				c.walkStmts(cc.Body, copyOf(held))
+			}
+		}
+	}
+	return held
+}
+
+// checkExpr reports recorder method calls syntactically inside e.
+// Function literals start a fresh (un-locked) context unless immediately
+// invoked.
+func (c *checker) checkExpr(e ast.Expr, held []string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			c.walkStmts(v.Body.List, nil)
+			return false
+		case *ast.CallExpr:
+			if lit, ok := v.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked literal runs under the caller's locks.
+				for _, arg := range v.Args {
+					c.checkExpr(arg, held)
+				}
+				c.walkStmts(lit.Body.List, copyOf(held))
+				return false
+			}
+			if len(held) > 0 {
+				if name := c.recorderCall(v); name != "" {
+					c.pass.Reportf(v.Pos(), "flight-recorder %s while mutex %q is held; collect the event under the lock and emit after unlocking", name, held[0])
+				}
+			}
+		}
+		return true
+	})
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as taking or releasing a mutex and returns the
+// lock's receiver expression ("s.mu") as its identity.
+func (c *checker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
+	recv, name, ok := analysis.MethodRecv(c.pass.TypesInfo, call)
+	if !ok || !mutexRecvs[recv] {
+		return "", opNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	key := types.ExprString(sel.X)
+	switch name {
+	case "Lock", "RLock":
+		return key, opLock
+	case "Unlock", "RUnlock":
+		return key, opUnlock
+	}
+	return "", opNone
+}
+
+// recorderCall returns a display name ("Emit") when the call is a method
+// on the flight recorder (pointer or value receiver).
+func (c *checker) recorderCall(call *ast.CallExpr) string {
+	recv, name, ok := analysis.MethodRecv(c.pass.TypesInfo, call)
+	if !ok {
+		return ""
+	}
+	recv = strings.TrimPrefix(recv, "*")
+	if !strings.HasSuffix(recv, recorderSuffix) {
+		return ""
+	}
+	return name
+}
+
+func copyOf(held []string) []string {
+	return append([]string(nil), held...)
+}
+
+func remove(held []string, key string) []string {
+	out := make([]string, 0, len(held))
+	for _, h := range held {
+		if h != key {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package eventcheck_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/analysistest"
+	"flex/internal/analysis/eventcheck"
+)
+
+func TestEventcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), eventcheck.Analyzer, "a")
+}

@@ -9,6 +9,7 @@ import (
 	"flex/internal/clock"
 	"flex/internal/impact"
 	"flex/internal/obs"
+	"flex/internal/obs/recorder"
 	"flex/internal/power"
 	"flex/internal/rackmgr"
 	"flex/internal/telemetry"
@@ -58,6 +59,13 @@ type Config struct {
 	// Tracer, when non-nil, records a detect→plan→act trace for every
 	// round that observes an overdraw.
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, logs the causal event chain of every
+	// overdraw round — detect (caused by the UPS sample-arrive event it
+	// read), plan start/commit/abort, each planned action, and the
+	// actuations they dispatch — under a per-episode ID allocated from
+	// the recorder. Traces started by Tracer carry the same episode ID,
+	// so /traces and /events are joinable.
+	Recorder *recorder.Recorder
 }
 
 // StepOutcome describes one evaluation round.
@@ -95,6 +103,26 @@ type Controller struct {
 	// first-action and shed-latency histograms.
 	overdrawSince time.Time
 	episodeActed  bool
+	// episode is the flight-recorder episode ID of the open overdraw
+	// episode (0 when none is open or no recorder is wired).
+	episode uint64
+}
+
+// DefaultInactiveThreshold is the capacity fraction below which a UPS is
+// considered out of service when Config.InactiveThreshold is zero.
+const DefaultInactiveThreshold = 0.02
+
+// DefaultBuffer is the safety margin used when Config.Buffer is zero: 1%
+// of the smallest UPS capacity. Exported so episode-log headers and
+// replay reconstruct the same margin the controller ran with.
+func DefaultBuffer(topo *power.Topology) power.Watts {
+	min := topo.UPSes[0].Capacity
+	for _, u := range topo.UPSes {
+		if u.Capacity < min {
+			min = u.Capacity
+		}
+	}
+	return power.Watts(0.01 * float64(min))
 }
 
 // New creates a controller.
@@ -103,19 +131,13 @@ func New(cfg Config) *Controller {
 		cfg.Interval = 500 * time.Millisecond
 	}
 	if cfg.InactiveThreshold == 0 {
-		cfg.InactiveThreshold = 0.02
+		cfg.InactiveThreshold = DefaultInactiveThreshold
 	}
 	if cfg.PlanBudget <= 0 {
 		cfg.PlanBudget = power.FlexLatencyBudget / 2
 	}
 	if cfg.Buffer == 0 {
-		min := cfg.Topo.UPSes[0].Capacity
-		for _, u := range cfg.Topo.UPSes {
-			if u.Capacity < min {
-				min = u.Capacity
-			}
-		}
-		cfg.Buffer = power.Watts(0.01 * float64(min))
+		cfg.Buffer = DefaultBuffer(cfg.Topo)
 	}
 	return &Controller{cfg: cfg, acted: make(map[string]PlannedAction)}
 }
@@ -124,13 +146,17 @@ func New(cfg Config) *Controller {
 // reading are assumed at full capacity (the safe direction: missing data
 // must trigger shaving, not mask an overload — §IV-C notes unreliable
 // telemetry leads to conservative action). It also returns the newest
-// measurement time, which gates re-enforcement.
-func (c *Controller) snapshotUPS() ([]power.Watts, time.Time) {
+// measurement time, which gates re-enforcement, and the flight-recorder
+// sample-arrive sequence per UPS (0 when unrecorded), which roots the
+// detect event's causal chain.
+func (c *Controller) snapshotUPS() ([]power.Watts, time.Time, []uint64) {
 	out := make([]power.Watts, len(c.cfg.Topo.UPSes))
+	events := make([]uint64, len(c.cfg.Topo.UPSes))
 	var newest time.Time
 	for u := range c.cfg.Topo.UPSes {
-		if v, at, ok := c.cfg.UPSView.Get(c.cfg.Topo.UPSes[u].Name); ok {
+		if v, at, ev, ok := c.cfg.UPSView.GetEvent(c.cfg.Topo.UPSes[u].Name); ok {
 			out[u] = v
+			events[u] = ev
 			if at.After(newest) {
 				newest = at
 			}
@@ -138,7 +164,7 @@ func (c *Controller) snapshotUPS() ([]power.Watts, time.Time) {
 			out[u] = c.cfg.Topo.UPSes[u].Capacity
 		}
 	}
-	return out, newest
+	return out, newest, events
 }
 
 // Step runs one evaluation round with no external cancellation point:
@@ -168,7 +194,7 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 	}
 	c.mu.Unlock()
 
-	ups, measuredAt := c.snapshotUPS()
+	ups, measuredAt, upsEvents := c.snapshotUPS()
 	inactive := InferInactiveUPSes(c.cfg.Topo, ups, c.cfg.InactiveThreshold)
 	var rackPower map[string]power.Watts
 	if c.cfg.RackEstimator != nil {
@@ -178,31 +204,56 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 	}
 
 	over := false
+	worst := -1
+	var worstExcess power.Watts
 	for u := range c.cfg.Topo.UPSes {
 		if inactive[power.UPSID(u)] {
 			continue
 		}
-		if ups[u] > c.cfg.Topo.UPSes[u].Capacity-c.cfg.Buffer {
+		if excess := ups[u] - (c.cfg.Topo.UPSes[u].Capacity - c.cfg.Buffer); excess > 0 {
 			over = true
-			break
+			if worst < 0 || excess > worstExcess {
+				worst, worstExcess = u, excess
+			}
 		}
 	}
 
+	rec := c.cfg.Recorder
 	if over {
 		out.Overdraw = true
 		now := c.cfg.Clock.Now()
 		c.mu.Lock()
-		if c.overdrawSince.IsZero() {
+		newEpisode := c.overdrawSince.IsZero()
+		if newEpisode {
 			c.overdrawSince = now
 			c.episodeActed = false
-			c.mu.Unlock()
+		}
+		episode := c.episode
+		c.mu.Unlock()
+		if newEpisode {
 			c.cfg.Metrics.incEpisode()
-		} else {
+			episode = rec.NextEpisode() // 0 when unrecorded
+			c.mu.Lock()
+			c.episode = episode
 			c.mu.Unlock()
+		}
+		var detectSeq uint64
+		if rec != nil {
+			detectSeq = rec.Emit(recorder.Event{
+				Type:    recorder.TypeOverdrawDetect,
+				Time:    now,
+				Actor:   c.cfg.Name,
+				Subject: c.cfg.Topo.UPSes[worst].Name,
+				Value:   float64(ups[worst]),
+				Score:   float64(c.cfg.Topo.UPSes[worst].Capacity),
+				Cause:   upsEvents[worst],
+				Episode: episode,
+			})
 		}
 		var tr *obs.Trace
 		if c.cfg.Tracer != nil {
 			tr = c.cfg.Tracer.Start("flex-online/"+c.cfg.Name, stepStart)
+			tr.SetEpisode(episode)
 			tr.Span("detect", stepStart, now)
 		}
 		// Do not pile further actions onto a snapshot that predates our
@@ -216,11 +267,31 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 		c.mu.Unlock()
 		if stale {
 			c.cfg.Metrics.incStaleSkip()
+			if rec != nil {
+				rec.Emit(recorder.Event{
+					Type:    recorder.TypeStaleSkip,
+					Time:    now,
+					Actor:   c.cfg.Name,
+					Cause:   detectSeq,
+					Episode: episode,
+				})
+			}
 			if tr != nil {
 				tr.SetNote("stale-skip")
 				tr.Finish(now)
 			}
 			return out
+		}
+		var planSeq uint64
+		if rec != nil {
+			planSeq = rec.Emit(recorder.Event{
+				Type:    recorder.TypePlanStart,
+				Time:    now,
+				Actor:   c.cfg.Name,
+				Cause:   detectSeq,
+				Episode: episode,
+				Aux:     int64(len(acted)),
+			})
 		}
 		planCtx, cancelPlan := context.WithTimeout(ctx, c.cfg.PlanBudget)
 		actions, insufficient, err := PlanContext(planCtx, PlanInput{
@@ -236,8 +307,10 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 		aborted := err != nil && planCtx.Err() != nil
 		cancelPlan()
 		var planEnd time.Time
-		if tr != nil {
+		if tr != nil || rec != nil {
 			planEnd = c.cfg.Clock.Now()
+		}
+		if tr != nil {
 			tr.Span("plan", now, planEnd)
 		}
 		if aborted {
@@ -251,6 +324,16 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 			}
 		} else if err != nil {
 			c.cfg.Metrics.incPlanError()
+			if rec != nil {
+				rec.Emit(recorder.Event{
+					Type:    recorder.TypePlanError,
+					Time:    planEnd,
+					Actor:   c.cfg.Name,
+					Cause:   planSeq,
+					Episode: episode,
+					Detail:  err.Error(),
+				})
+			}
 			if tr != nil {
 				tr.SetNote("plan-error")
 				tr.Finish(planEnd)
@@ -259,13 +342,52 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 		}
 		out.Planned = actions
 		out.Insufficient = insufficient
-		for _, a := range actions {
+		var plannedSeqs []uint64
+		if rec != nil {
+			plannedSeqs = make([]uint64, len(actions))
+			var total float64
+			for i, a := range actions {
+				total += float64(a.Recovered)
+				plannedSeqs[i] = rec.Emit(recorder.Event{
+					Type:    recorder.TypeActionPlanned,
+					Time:    planEnd,
+					Actor:   c.cfg.Name,
+					Subject: a.Rack,
+					Value:   float64(a.Recovered),
+					Score:   a.Impact,
+					Aux:     int64(a.Kind),
+					Detail:  a.Workload,
+					Cause:   planSeq,
+					Episode: episode,
+				})
+			}
+			commit := recorder.Event{
+				Type:    recorder.TypePlanCommit,
+				Time:    planEnd,
+				Actor:   c.cfg.Name,
+				Cause:   planSeq,
+				Episode: episode,
+				Aux:     int64(len(actions)),
+				Value:   total,
+			}
+			if aborted {
+				commit.Type = recorder.TypePlanAbort
+			} else if insufficient {
+				commit.Detail = "insufficient"
+			}
+			rec.Emit(commit)
+		}
+		for i, a := range actions {
 			var err error
+			op := rackmgr.Op{Actor: c.cfg.Name, Episode: episode}
+			if plannedSeqs != nil {
+				op.Cause = plannedSeqs[i]
+			}
 			switch a.Kind {
 			case Shutdown:
-				err = c.cfg.Actuator.Shutdown(a.Rack)
+				err = c.cfg.Actuator.ShutdownOp(a.Rack, op)
 			case Throttle:
-				err = c.cfg.Actuator.Throttle(a.Rack, a.CapTarget)
+				err = c.cfg.Actuator.ThrottleOp(a.Rack, a.CapTarget, op)
 			}
 			if err != nil {
 				out.EnforceErrors++
@@ -302,11 +424,26 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 	since := c.overdrawSince
 	episodeActed := c.episodeActed
 	last := c.lastEnforceAt
+	episode := c.episode
 	c.overdrawSince = time.Time{}
 	c.episodeActed = false
+	c.episode = 0
 	c.mu.Unlock()
-	if !since.IsZero() && episodeActed && !last.Before(since) {
+	shed := !since.IsZero() && episodeActed && !last.Before(since)
+	if shed {
 		c.cfg.Metrics.observeShed(last.Sub(since))
+	}
+	if rec != nil && !since.IsZero() {
+		e := recorder.Event{
+			Type:    recorder.TypeEpisodeClose,
+			Time:    c.cfg.Clock.Now(),
+			Actor:   c.cfg.Name,
+			Episode: episode,
+		}
+		if shed {
+			e.Value = last.Sub(since).Seconds()
+		}
+		rec.Emit(e)
 	}
 
 	// Recovery: when no UPS is inactive, restore as many acted racks as
@@ -359,7 +496,7 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 		if !safe {
 			continue
 		}
-		if err := c.cfg.Actuator.Restore(a.Rack); err != nil {
+		if err := c.cfg.Actuator.RestoreOp(a.Rack, rackmgr.Op{Actor: c.cfg.Name}); err != nil {
 			out.EnforceErrors++
 			continue
 		}

@@ -19,9 +19,11 @@ import (
 	"flex/internal/impact"
 	"flex/internal/milp"
 	"flex/internal/obs"
+	"flex/internal/obs/recorder"
 	"flex/internal/placement"
 	"flex/internal/power"
 	"flex/internal/rackmgr"
+	"flex/internal/replay"
 	"flex/internal/sim"
 	"flex/internal/stats"
 	"flex/internal/telemetry"
@@ -61,6 +63,11 @@ type Config struct {
 	// Tracer, when non-nil, records detect→plan→act traces of overdraw
 	// rounds (it is handed to every controller primary).
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, captures the whole run as a flight-recorder
+	// event log: a replay.Header meta event first, then every telemetry,
+	// consensus, planning and actuation event — a log cmd/flexreplay can
+	// re-drive deterministically.
+	Recorder *recorder.Recorder
 	// Debug prints controller decisions to stdout.
 	Debug bool
 }
@@ -220,6 +227,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Obs != nil {
 		mgr.Metrics = rackmgr.NewMetrics(cfg.Obs)
 	}
+	mgr.Recorder = cfg.Recorder
 
 	// Ground truth: rack power honoring actuation state, and UPS loads
 	// honoring the failover transfer.
@@ -266,6 +274,10 @@ func Run(cfg Config) (*Result, error) {
 	// synchronously into the controller views on the paper's cadences.
 	upsView := telemetry.NewLatestPower()
 	rackView := telemetry.NewLatestPower()
+	if cfg.Recorder != nil {
+		upsView.SetRecorder(cfg.Recorder, replay.RoleUPSView)
+		rackView.SetRecorder(cfg.Recorder, replay.RoleRackView)
+	}
 	var telMetrics *telemetry.Metrics
 	if cfg.Obs != nil {
 		telMetrics = telemetry.NewMetrics(cfg.Obs)
@@ -278,6 +290,7 @@ func Run(cfg Config) (*Result, error) {
 			func() power.Watts { return 60 * power.KW }, // mechanical load
 			cfg.Seed+int64(u)*7)
 		upsMeters[u].Metrics = telMetrics
+		upsMeters[u].Recorder = cfg.Recorder
 	}
 	rackMeters := make([]*telemetry.SimMeter, len(sims))
 	for i, rs := range sims {
@@ -306,7 +319,25 @@ func Run(cfg Config) (*Result, error) {
 			Scenario: *cfg.Scenario,
 			Metrics:  ctlMetrics,
 			Tracer:   cfg.Tracer,
+			Recorder: cfg.Recorder,
 		})
+	}
+
+	// The episode log leads with its replay header: everything the event
+	// stream cannot carry (room, scenario, managed racks) pinned up front
+	// so cmd/flexreplay can rebuild the controllers' exact PlanInputs.
+	if cfg.Recorder != nil {
+		hdr := replay.NewHeader("emulation", start, cfg.Scenario.Name, 0, managed)
+		hdr.Utilization = cfg.Utilization
+		hdr.Seed = cfg.Seed
+		for i := range ctls {
+			hdr.Controllers = append(hdr.Controllers, fmt.Sprintf("flex-ctl-%d", i+1))
+		}
+		me, err := hdr.MetaEvent(clk.Now(), "emu")
+		if err != nil {
+			return nil, fmt.Errorf("emu: encoding replay header: %w", err)
+		}
+		cfg.Recorder.Emit(me)
 	}
 
 	res := &Result{}
@@ -357,6 +388,14 @@ func Run(cfg Config) (*Result, error) {
 		// Failure / recovery events.
 		if now == cfg.FailAt {
 			inactive[cfg.FailUPS] = true
+			if cfg.Recorder != nil {
+				cfg.Recorder.Emit(recorder.Event{
+					Type:    recorder.TypeUPSFail,
+					Time:    clk.Now(),
+					Actor:   "emu",
+					Subject: topo.UPSes[cfg.FailUPS].Name,
+				})
+			}
 			if cfg.InjectTelemetryFaults {
 				for u, lm := range upsMeters {
 					if power.UPSID(u) == cfg.FailUPS {
@@ -372,6 +411,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if now == cfg.RecoverAt {
 			delete(inactive, cfg.FailUPS)
+			if cfg.Recorder != nil {
+				cfg.Recorder.Emit(recorder.Event{
+					Type:    recorder.TypeUPSRecover,
+					Time:    clk.Now(),
+					Actor:   "emu",
+					Subject: topo.UPSes[cfg.FailUPS].Name,
+				})
+			}
 		}
 
 		// Advance workload dynamics (AR(1) demand around per-category

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"flex/internal/obs/recorder"
+)
+
+// eventsHandler builds a handler over a recorder holding one recorded
+// episode: sample-arrive (episode 0) → detect → plan → planned action →
+// dispatch → ack, all chained by Cause, plus an unrelated stray event.
+func eventsHandler() (http.Handler, *recorder.Recorder) {
+	rec := recorder.New(0)
+	t0 := time.Unix(0, 0).UTC()
+	arrive := rec.Emit(recorder.Event{Type: recorder.TypeSampleArrive, Time: t0, Actor: "ups-view", Subject: "ups-2", Value: 107e3})
+	ep := rec.NextEpisode()
+	detect := rec.Emit(recorder.Event{Type: recorder.TypeOverdrawDetect, Time: t0, Actor: "ctl-1", Subject: "ups-2", Value: 107e3, Cause: arrive, Episode: ep})
+	plan := rec.Emit(recorder.Event{Type: recorder.TypePlanStart, Time: t0, Actor: "ctl-1", Cause: detect, Episode: ep})
+	planned := rec.Emit(recorder.Event{Type: recorder.TypeActionPlanned, Time: t0, Actor: "ctl-1", Subject: "rack-9", Cause: plan, Episode: ep})
+	rec.Emit(recorder.Event{Type: recorder.TypePlanCommit, Time: t0, Actor: "ctl-1", Cause: plan, Episode: ep, Aux: 1})
+	dispatch := rec.Emit(recorder.Event{Type: recorder.TypeActionDispatch, Time: t0, Actor: "ctl-1", Subject: "rack-9", Detail: "shutdown", Cause: planned, Episode: ep})
+	rec.Emit(recorder.Event{Type: recorder.TypeActionAck, Time: t0, Actor: "ctl-1", Subject: "rack-9", Detail: "shutdown", Cause: dispatch, Episode: ep, Aux: 1})
+	rec.Emit(recorder.Event{Type: recorder.TypeSampleArrive, Time: t0, Actor: "rack-view", Subject: "rack-1", Value: 5e3})
+	return NewHandler(ServerConfig{Registry: NewRegistry(), Events: rec}), rec
+}
+
+func getEvents(t *testing.T, h http.Handler, path string) []recorder.Event {
+	t.Helper()
+	code, body := get(t, h, path)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, code, body)
+	}
+	var events []recorder.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("GET %s: invalid JSON: %v\n%s", path, err, body)
+	}
+	return events
+}
+
+func TestHandlerEventsAll(t *testing.T) {
+	h, _ := eventsHandler()
+	events := getEvents(t, h, "/events")
+	if len(events) != 8 {
+		t.Fatalf("got %d events, want 8", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events not seq-ordered at %d", i)
+		}
+	}
+}
+
+// TestHandlerEventsEpisodeChain is the acceptance check for the query
+// surface: /events?episode=N returns the full causal chain from the
+// triggering sample to the final action ack, even though the sample
+// itself carries no episode tag.
+func TestHandlerEventsEpisodeChain(t *testing.T) {
+	h, _ := eventsHandler()
+	events := getEvents(t, h, "/events?episode=1")
+	want := []recorder.Type{
+		recorder.TypeSampleArrive,
+		recorder.TypeOverdrawDetect,
+		recorder.TypePlanStart,
+		recorder.TypeActionPlanned,
+		recorder.TypePlanCommit,
+		recorder.TypeActionDispatch,
+		recorder.TypeActionAck,
+	}
+	if len(events) != len(want) {
+		t.Fatalf("chain has %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, e := range events {
+		if e.Type != want[i] {
+			t.Fatalf("chain[%d] = %v, want %v", i, e.Type, want[i])
+		}
+	}
+	if events[0].Subject != "ups-2" {
+		t.Fatalf("chain root subject %q, want the triggering UPS sample", events[0].Subject)
+	}
+
+	// Opting out of the closure drops the untagged triggering sample.
+	if got := getEvents(t, h, "/events?episode=1&causes=0"); len(got) != len(want)-1 {
+		t.Fatalf("causes=0 returned %d events, want %d", len(got), len(want)-1)
+	}
+}
+
+func TestHandlerEventsFilters(t *testing.T) {
+	h, _ := eventsHandler()
+	if got := getEvents(t, h, "/events?type=sample-arrive"); len(got) != 2 {
+		t.Fatalf("type filter: %d events, want 2", len(got))
+	}
+	if got := getEvents(t, h, "/events?subject=rack-9"); len(got) != 3 {
+		t.Fatalf("subject filter: %d events, want 3", len(got))
+	}
+	if got := getEvents(t, h, "/events?actor=ups-view"); len(got) != 1 {
+		t.Fatalf("actor filter: %d events, want 1", len(got))
+	}
+	if got := getEvents(t, h, "/events?min_seq=3&max_seq=5"); len(got) != 3 {
+		t.Fatalf("seq range: %d events, want 3", len(got))
+	}
+	if got := getEvents(t, h, "/events?limit=2"); len(got) != 2 || got[1].Seq != 8 {
+		t.Fatalf("limit keeps newest: %+v", got)
+	}
+}
+
+func TestHandlerEventsBadParams(t *testing.T) {
+	h, _ := eventsHandler()
+	for _, path := range []string{
+		"/events?episode=x",
+		"/events?type=nope",
+		"/events?causes=maybe",
+		"/events?limit=-1",
+		"/events?min_seq=1.5",
+	} {
+		if code, _ := get(t, h, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, code)
+		}
+	}
+}
+
+func TestHandlerEventsAbsent(t *testing.T) {
+	h := NewHandler(ServerConfig{Registry: NewRegistry()})
+	code, body := get(t, h, "/events")
+	if code != http.StatusOK || body != "[]\n" {
+		t.Fatalf("no-recorder /events: %d %q", code, body)
+	}
+}

@@ -81,6 +81,43 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileDegenerateBuckets is the regression test for interpolation
+// over degenerate layouts: zero-width buckets (duplicate bounds) and
+// first buckets below the 0 interpolation origin must report the
+// bucket's upper bound, never NaN or an extrapolated value outside it.
+func TestQuantileDegenerateBuckets(t *testing.T) {
+	// All mass in a zero-width bucket.
+	snap := Snapshot{
+		Kind:  KindHistogram,
+		Count: 4,
+		Buckets: []Bucket{
+			{Le: 1, Count: 0},
+			{Le: 1, Count: 4},
+			{Le: math.Inf(1), Count: 4},
+		},
+	}
+	for _, q := range []float64{0, 0.5, 0.99} {
+		got := snap.Quantile(q)
+		if math.IsNaN(got) || got != 1 {
+			t.Fatalf("q=%v over zero-width bucket = %v, want 1", q, got)
+		}
+	}
+
+	// First bucket bound below 0: interpolating against the 0.0 initial
+	// lower bound would walk upward out of the bucket.
+	snap = Snapshot{
+		Kind:  KindHistogram,
+		Count: 2,
+		Buckets: []Bucket{
+			{Le: -5, Count: 2},
+			{Le: math.Inf(1), Count: 2},
+		},
+	}
+	if got := snap.Quantile(0.5); math.IsNaN(got) || got != -5 {
+		t.Fatalf("q=0.5 over negative first bucket = %v, want -5", got)
+	}
+}
+
 func TestVecChildrenAreBoundOnce(t *testing.T) {
 	r := NewRegistry()
 	v := r.CounterVec("flex_test_actions_total", "by kind", "kind")

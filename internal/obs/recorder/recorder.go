@@ -1,0 +1,245 @@
+package recorder
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCapacity is the ring size used when New is given capacity <= 0.
+const DefaultCapacity = 8192
+
+// Recorder is the flight recorder: a fixed-capacity ring of events that
+// is always on, plus an optional JSONL sink for persistence. Emit is safe
+// for concurrent use and allocation-free when no sink is attached; query
+// paths (Snapshot, Query) allocate freely.
+//
+// The ring is bounded: under burst load the oldest events are overwritten
+// (Overwritten counts them). Attach a sink before the run when the full
+// log matters — replay needs every event, the live /events surface only
+// the recent window.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []Event
+	// n is the number of live events in the ring; next is the slot the
+	// next event lands in once the ring has wrapped.
+	n, next int
+	seq     uint64
+	sink    *Sink
+	sinkErr error
+
+	episodes    atomic.Uint64
+	overwritten atomic.Uint64
+	emitted     atomic.Uint64
+}
+
+// New returns a recorder retaining the last capacity events
+// (DefaultCapacity when capacity <= 0). The ring is allocated up front so
+// the emission path never grows it.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{ring: make([]Event, capacity)}
+}
+
+// Emit assigns the event its sequence number, appends it to the ring
+// (overwriting the oldest event when full) and forwards it to the sink if
+// one is attached. It returns the assigned sequence number so callers can
+// thread it as the Cause of downstream events. Emit on a nil recorder
+// returns 0, so call sites need no nil guards beyond `rec != nil` when
+// they want to skip building the event at all.
+func (r *Recorder) Emit(e Event) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	r.ring[r.next] = e
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	} else {
+		r.overwritten.Add(1)
+	}
+	sink := r.sink
+	if sink != nil {
+		// Writing under r.mu keeps the file in Seq order across
+		// concurrent emitters; the sink write is buffered memory I/O
+		// (bufio), not a syscall per event.
+		if err := sink.write(e); err != nil {
+			// First failure wins; the ring keeps recording.
+			r.sink = nil
+			r.sinkErr = err
+		}
+	}
+	r.mu.Unlock()
+	r.emitted.Add(1)
+	return e.Seq
+}
+
+// NextEpisode allocates a fresh episode ID (1-based). Controllers call it
+// when they open an overdraw episode; IDs are unique per recorder, so
+// multi-primary controllers sharing a recorder never collide.
+func (r *Recorder) NextEpisode() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.episodes.Add(1)
+}
+
+// AttachSink directs every subsequent event to s as length-prefixed
+// JSONL. Attach before emission begins when the full log matters — events
+// emitted earlier are only in the ring. A write error detaches the sink
+// (the error is available via SinkErr); the ring keeps recording.
+func (r *Recorder) AttachSink(s *Sink) {
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// DetachSink flushes and detaches the current sink, returning its first
+// error (write or flush), if any.
+func (r *Recorder) DetachSink() error {
+	r.mu.Lock()
+	s := r.sink
+	r.sink = nil
+	r.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.Close()
+}
+
+// SinkErr returns the first error the attached sink hit, or nil. A
+// non-nil value means the JSONL log is truncated (the ring is not).
+func (r *Recorder) SinkErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sinkErr != nil {
+		return r.sinkErr
+	}
+	if r.sink == nil {
+		return nil
+	}
+	return r.sink.Err()
+}
+
+// Seq returns the last assigned sequence number.
+func (r *Recorder) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Emitted reports the total number of events emitted.
+func (r *Recorder) Emitted() uint64 { return r.emitted.Load() }
+
+// Overwritten reports how many events the ring has evicted — the
+// backpressure signal that the window was too small for the burst.
+func (r *Recorder) Overwritten() uint64 { return r.overwritten.Load() }
+
+// Episodes reports how many episode IDs have been allocated.
+func (r *Recorder) Episodes() uint64 { return r.episodes.Load() }
+
+// Filter selects events for Query. Zero values are wildcards.
+type Filter struct {
+	// Episode keeps events of one overdraw episode.
+	Episode uint64
+	// Type keeps one event type.
+	Type Type
+	// Actor / Subject keep events by emitting component / device (exact
+	// match; Subject covers "by UPS" and "by rack" queries).
+	Actor, Subject string
+	// MinSeq/MaxSeq bound the sequence range (inclusive; 0 = open).
+	MinSeq, MaxSeq uint64
+	// WithCauses additionally includes the transitive causal ancestors of
+	// every match — still retained in the window being queried — so an
+	// episode query returns the full chain from the triggering telemetry
+	// sample to the final action ack, even though samples carry no
+	// episode ID.
+	WithCauses bool
+	// Limit keeps only the newest Limit events after filtering (0 = all).
+	Limit int
+}
+
+func (f *Filter) match(e *Event) bool {
+	if f.Episode != 0 && e.Episode != f.Episode {
+		return false
+	}
+	if f.Type != TypeUnknown && e.Type != f.Type {
+		return false
+	}
+	if f.Actor != "" && e.Actor != f.Actor {
+		return false
+	}
+	if f.Subject != "" && e.Subject != f.Subject {
+		return false
+	}
+	if f.MinSeq != 0 && e.Seq < f.MinSeq {
+		return false
+	}
+	if f.MaxSeq != 0 && e.Seq > f.MaxSeq {
+		return false
+	}
+	return true
+}
+
+// Snapshot returns a copy of the retained events in sequence order.
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.n; i++ {
+		out[i] = r.ring[(start+i)%len(r.ring)]
+	}
+	return out
+}
+
+// Query returns the retained events matching f, in sequence order.
+func (r *Recorder) Query(f Filter) []Event {
+	return ApplyFilter(r.Snapshot(), f)
+}
+
+// ApplyFilter filters a sequence-ordered event slice (the ring snapshot
+// or a loaded JSONL log) with the same semantics as Recorder.Query.
+func ApplyFilter(events []Event, f Filter) []Event {
+	keep := make([]bool, len(events))
+	any := false
+	for i := range events {
+		if f.match(&events[i]) {
+			keep[i] = true
+			any = true
+		}
+	}
+	if any && f.WithCauses {
+		// Events are in Seq order and causes always precede effects, so a
+		// single reverse sweep closes the ancestor set.
+		bySeq := make(map[uint64]int, len(events))
+		for i := range events {
+			bySeq[events[i].Seq] = i
+		}
+		for i := len(events) - 1; i >= 0; i-- {
+			if !keep[i] || events[i].Cause == 0 {
+				continue
+			}
+			if j, ok := bySeq[events[i].Cause]; ok {
+				keep[j] = true
+			}
+		}
+	}
+	out := make([]Event, 0, len(events))
+	for i := range events {
+		if keep[i] {
+			out = append(out, events[i])
+		}
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package recorder
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTinyBufWriter gives the sink an almost unbuffered writer so write
+// errors surface immediately instead of hiding in the 64KB buffer.
+func newTinyBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 16) }
+
+func TestSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	in := []Event{
+		{Seq: 1, Type: TypeMeta, Time: t0, Detail: `{"room":"emulation"}`},
+		{Seq: 2, Type: TypeSamplePublish, Time: t0.Add(time.Second), Actor: "poller-1", Subject: "UPS-1", Value: 1.19999e6, Aux: 1},
+		{Seq: 3, Type: TypeActionPlanned, Time: t0.Add(2 * time.Second), Actor: "ctl-1", Subject: "rack-07", Cause: 2, Episode: 1, Value: 8000, Score: 0.25, Detail: "batch"},
+	}
+	for _, e := range in {
+		if err := s.write(e); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	out, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadEventsRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	for i := 1; i <= 3; i++ {
+		if err := s.write(Event{Seq: uint64(i), Type: TypeSampleArrive, Time: t0}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full := buf.Bytes()
+	// Chop mid-record: a crash during the final write.
+	evs, err := ReadEvents(bytes.NewReader(full[:len(full)-10]))
+	if err == nil {
+		t.Fatal("truncated log parsed without error")
+	}
+	if len(evs) != 2 {
+		t.Fatalf("truncated log yielded %d whole events, want 2", len(evs))
+	}
+}
+
+func TestReadEventsRejectsMalformedPrefix(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("nope {\"seq\":1}\n")); err == nil {
+		t.Fatal("malformed prefix parsed without error")
+	}
+}
+
+func TestReadEventsRejectsNonMonotonicSeq(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	_ = s.write(Event{Seq: 5, Type: TypeSampleArrive, Time: t0})
+	_ = s.write(Event{Seq: 4, Type: TypeSampleArrive, Time: t0})
+	_ = s.Close()
+	if _, err := ReadEvents(&buf); err == nil {
+		t.Fatal("non-monotonic log parsed without error")
+	}
+}
+
+func TestTypeJSONNames(t *testing.T) {
+	for ty := TypeMeta; ty < numTypes; ty++ {
+		b, err := ty.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", ty, err)
+		}
+		var back Type
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != ty {
+			t.Fatalf("round trip %v → %s → %v", ty, b, back)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Fatal("ParseType accepted a bogus name")
+	}
+}

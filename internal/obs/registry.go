@@ -368,11 +368,19 @@ func (s Snapshot) Quantile(q float64) float64 {
 				return lower
 			}
 			span := float64(b.Count - lowerCount)
-			if span <= 0 {
+			width := b.Le - lower
+			if span <= 0 || width <= 0 {
+				// Empty or zero-width interval (duplicate bounds, or a
+				// first bucket below the 0 origin): interpolating would
+				// divide by zero or extrapolate outside the bucket, so
+				// report its upper bound — the tightest honest answer.
 				return b.Le
 			}
 			frac := (rank - float64(lowerCount)) / span
-			return lower + frac*(b.Le-lower)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*width
 		}
 		lower, lowerCount = b.Le, b.Count
 	}

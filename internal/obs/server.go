@@ -7,6 +7,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
+
+	"flex/internal/obs/recorder"
 )
 
 // ServerConfig wires the introspection handler.
@@ -14,6 +17,9 @@ type ServerConfig struct {
 	Registry *Registry
 	// Tracer is optional; without it /traces serves an empty list.
 	Tracer *Tracer
+	// Events is optional; without it /events serves an empty list. Join
+	// /traces entries to /events streams on the shared episode ID.
+	Events *recorder.Recorder
 }
 
 // NewHandler returns the live introspection surface:
@@ -22,6 +28,10 @@ type ServerConfig struct {
 //	/debug/vars    expvar-style JSON (cmdline, memstats, metrics)
 //	/debug/pprof/  the standard runtime profiles
 //	/traces        recent detect→plan→act traces as JSON
+//	/events        flight-recorder events as JSON; filters: episode, type,
+//	               actor, subject, min_seq, max_seq, causes, limit.
+//	               ?episode=N defaults to causes=1, returning the episode's
+//	               full causal chain (triggering samples included).
 //
 // Mount it behind an opt-in -listen flag; the handler itself performs no
 // authentication.
@@ -33,7 +43,23 @@ func NewHandler(cfg ServerConfig) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("flex obs endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /traces\n"))
+		_, _ = w.Write([]byte("flex obs endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /traces\n  /events\n"))
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if cfg.Events == nil {
+			_, _ = w.Write([]byte("[]\n"))
+			return
+		}
+		f, err := eventFilter(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		events := cfg.Events.Query(f)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -76,6 +102,66 @@ func StartServer(addr string, cfg ServerConfig) (boundAddr string, stop func(), 
 	srv := &http.Server{Handler: NewHandler(cfg)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// eventFilter parses /events query parameters into a recorder.Filter.
+func eventFilter(r *http.Request) (recorder.Filter, error) {
+	var f recorder.Filter
+	q := r.URL.Query()
+	parseUint := func(key string, dst *uint64) error {
+		s := q.Get(key)
+		if s == "" {
+			return nil
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return &badParamError{key, s}
+		}
+		*dst = v
+		return nil
+	}
+	if err := parseUint("episode", &f.Episode); err != nil {
+		return f, err
+	}
+	if err := parseUint("min_seq", &f.MinSeq); err != nil {
+		return f, err
+	}
+	if err := parseUint("max_seq", &f.MaxSeq); err != nil {
+		return f, err
+	}
+	if s := q.Get("type"); s != "" {
+		typ, err := recorder.ParseType(s)
+		if err != nil {
+			return f, &badParamError{"type", s}
+		}
+		f.Type = typ
+	}
+	f.Actor = q.Get("actor")
+	f.Subject = q.Get("subject")
+	// Episode queries serve the causal chain by default; ?causes=0 opts
+	// out, ?causes=1 opts in for any query.
+	f.WithCauses = f.Episode != 0
+	if s := q.Get("causes"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return f, &badParamError{"causes", s}
+		}
+		f.WithCauses = v
+	}
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return f, &badParamError{"limit", s}
+		}
+		f.Limit = v
+	}
+	return f, nil
+}
+
+type badParamError struct{ key, val string }
+
+func (e *badParamError) Error() string {
+	return "bad " + e.key + " parameter: " + strconv.Quote(e.val)
 }
 
 // WriteExpvar renders the registry in expvar's JSON shape — flat keys,

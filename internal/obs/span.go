@@ -32,9 +32,16 @@ type Trace struct {
 	Spans []Span    `json:"spans"`
 	// Note carries a short free-form annotation ("overdraw enforced=3").
 	Note string `json:"note,omitempty"`
+	// Episode is the flight-recorder episode ID of the overdraw episode
+	// this trace belongs to (0 when none) — the join key between /traces
+	// entries and /events streams (query the latter with ?episode=<id>).
+	Episode uint64 `json:"episode,omitempty"`
 
 	tracer *Tracer
 }
+
+// SetEpisode tags the trace with a flight-recorder episode ID.
+func (t *Trace) SetEpisode(id uint64) { t.Episode = id }
 
 // Span appends a completed stage.
 func (t *Trace) Span(name string, start, end time.Time) {
@@ -125,6 +132,7 @@ type traceJSON struct {
 	Start           time.Time  `json:"start"`
 	DurationSeconds float64    `json:"duration_seconds"`
 	Note            string     `json:"note,omitempty"`
+	Episode         uint64     `json:"episode,omitempty"`
 	Spans           []spanJSON `json:"spans"`
 }
 
@@ -145,6 +153,7 @@ func (tr *Tracer) WriteJSON(w io.Writer) error {
 			Start:           t.Start,
 			DurationSeconds: t.Duration().Seconds(),
 			Note:            t.Note,
+			Episode:         t.Episode,
 			Spans:           make([]spanJSON, len(t.Spans)),
 		}
 		for j, s := range t.Spans {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"flex/internal/clock"
+	"flex/internal/obs/recorder"
 	"flex/internal/power"
 )
 
@@ -75,10 +76,29 @@ type Manager struct {
 	// Metrics, when non-nil, counts actuation attempts, failures, and
 	// idempotent no-ops. Set it before actuation begins.
 	Metrics *Metrics
+	// Recorder, when non-nil, emits action-dispatch before and
+	// action-ack / action-fail after every actuation, chained to the
+	// issuing controller's planned action through Op. Set it before
+	// actuation begins.
+	Recorder *recorder.Recorder
 
 	mu    sync.Mutex
 	racks map[string]*rack
 	log   []Action
+}
+
+// Op carries the flight-recorder provenance of one actuation: who issued
+// it, which planned-action event caused it, and which overdraw episode it
+// belongs to. The zero Op (unattributed) is valid — Throttle/Shutdown/
+// Restore use it.
+type Op struct {
+	// Actor is the issuing component (controller name).
+	Actor string
+	// Cause is the event sequence of the action-planned (or other
+	// originating) event.
+	Cause uint64
+	// Episode is the overdraw episode the action belongs to.
+	Episode uint64
 }
 
 // Action is one executed (or refused) actuation, for audit and metrics.
@@ -133,68 +153,150 @@ func (m *Manager) check(id string) (*rack, error) {
 // throttled rack updates the cap; throttling an Off rack is refused.
 // The call is idempotent with respect to repeated identical commands.
 func (m *Manager) Throttle(id string, cap power.Watts) error {
+	return m.ThrottleOp(id, cap, Op{})
+}
+
+// ThrottleOp is Throttle with flight-recorder provenance.
+func (m *Manager) ThrottleOp(id string, cap power.Watts, op Op) error {
+	dispatch := m.emitDispatch("throttle", id, cap, op)
 	if m.ActionLatency > 0 {
 		m.clk.Sleep(m.ActionLatency)
 	}
+	effective, err := m.throttleLocked(id, cap)
+	m.emitOutcome("throttle", id, cap, op, dispatch, effective, err)
+	return err
+}
+
+func (m *Manager) throttleLocked(id string, cap power.Watts) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, err := m.check(id)
 	if err != nil {
 		m.logAction(Action{Rack: id, Kind: "throttle", Cap: cap, Err: err})
-		return err
+		return false, err
 	}
 	if r.state == Off {
 		err := fmt.Errorf("rackmgr: cannot throttle powered-off rack %s", id)
 		m.logAction(Action{Rack: id, Kind: "throttle", Cap: cap, Err: err})
-		return err
+		return false, err
 	}
 	effective := r.state != Throttled || r.cap != cap
 	r.state = Throttled
 	r.cap = cap
 	r.lastActionAt = m.clk.Now()
 	m.logAction(Action{Rack: id, Kind: "throttle", Cap: cap, Effective: effective})
-	return nil
+	return effective, nil
 }
 
 // Shutdown powers the rack off. Idempotent.
 func (m *Manager) Shutdown(id string) error {
+	return m.ShutdownOp(id, Op{})
+}
+
+// ShutdownOp is Shutdown with flight-recorder provenance.
+func (m *Manager) ShutdownOp(id string, op Op) error {
+	dispatch := m.emitDispatch("shutdown", id, 0, op)
 	if m.ActionLatency > 0 {
 		m.clk.Sleep(m.ActionLatency)
 	}
+	effective, err := m.shutdownLocked(id)
+	m.emitOutcome("shutdown", id, 0, op, dispatch, effective, err)
+	return err
+}
+
+func (m *Manager) shutdownLocked(id string) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, err := m.check(id)
 	if err != nil {
 		m.logAction(Action{Rack: id, Kind: "shutdown", Err: err})
-		return err
+		return false, err
 	}
 	effective := r.state != Off
 	r.state = Off
 	r.cap = 0
 	r.lastActionAt = m.clk.Now()
 	m.logAction(Action{Rack: id, Kind: "shutdown", Effective: effective})
-	return nil
+	return effective, nil
 }
 
 // Restore returns the rack to uncapped operation (lifting a throttle or
 // powering it back on). Idempotent.
 func (m *Manager) Restore(id string) error {
+	return m.RestoreOp(id, Op{})
+}
+
+// RestoreOp is Restore with flight-recorder provenance.
+func (m *Manager) RestoreOp(id string, op Op) error {
+	dispatch := m.emitDispatch("restore", id, 0, op)
 	if m.ActionLatency > 0 {
 		m.clk.Sleep(m.ActionLatency)
 	}
+	effective, err := m.restoreLocked(id)
+	m.emitOutcome("restore", id, 0, op, dispatch, effective, err)
+	return err
+}
+
+func (m *Manager) restoreLocked(id string) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, err := m.check(id)
 	if err != nil {
 		m.logAction(Action{Rack: id, Kind: "restore", Err: err})
-		return err
+		return false, err
 	}
 	effective := r.state != On
 	r.state = On
 	r.cap = 0
 	r.lastActionAt = m.clk.Now()
 	m.logAction(Action{Rack: id, Kind: "restore", Effective: effective})
-	return nil
+	return effective, nil
+}
+
+// emitDispatch records that a command left for the rack manager; it runs
+// before the RM round-trip latency is charged and before any manager lock
+// is taken.
+func (m *Manager) emitDispatch(kind, id string, cap power.Watts, op Op) uint64 {
+	if m.Recorder == nil {
+		return 0
+	}
+	return m.Recorder.Emit(recorder.Event{
+		Type:    recorder.TypeActionDispatch,
+		Time:    m.clk.Now(),
+		Actor:   op.Actor,
+		Subject: id,
+		Value:   float64(cap),
+		Detail:  kind,
+		Cause:   op.Cause,
+		Episode: op.Episode,
+	})
+}
+
+// emitOutcome records the RM's answer — ack (Aux=1 when the state
+// actually changed) or fail — chained to the dispatch event.
+func (m *Manager) emitOutcome(kind, id string, cap power.Watts, op Op, dispatch uint64, effective bool, err error) {
+	if m.Recorder == nil {
+		return
+	}
+	e := recorder.Event{
+		Time:    m.clk.Now(),
+		Actor:   op.Actor,
+		Subject: id,
+		Value:   float64(cap),
+		Detail:  kind,
+		Cause:   dispatch,
+		Episode: op.Episode,
+	}
+	if err != nil {
+		e.Type = recorder.TypeActionFail
+		e.Detail = kind + ": " + err.Error()
+	} else {
+		e.Type = recorder.TypeActionAck
+		if effective {
+			e.Aux = 1
+		}
+	}
+	m.Recorder.Emit(e)
 }
 
 // State returns the rack's power state and cap.

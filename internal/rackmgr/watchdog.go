@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flex/internal/clock"
+	"flex/internal/obs/recorder"
 )
 
 // Alert is a problem the background verification service found with a
@@ -69,6 +70,17 @@ func (w *Watchdog) SweepOnce() []Alert {
 		m.WatchdogSweeps.Inc()
 		if len(raised) > 0 {
 			m.WatchdogAlerts.Add(uint64(len(raised)))
+		}
+	}
+	if rec := w.Manager.Recorder; rec != nil {
+		for _, a := range raised {
+			rec.Emit(recorder.Event{
+				Type:    recorder.TypeWatchdogAlert,
+				Time:    a.At,
+				Actor:   "watchdog",
+				Subject: a.Rack,
+				Detail:  a.Reason,
+			})
 		}
 	}
 	if cb != nil {

@@ -1,0 +1,144 @@
+package replay_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"flex/internal/emu"
+	"flex/internal/obs/recorder"
+	"flex/internal/replay"
+)
+
+// recordShortEpisode runs the compressed §V-C emulation (1s ticks, UPS
+// failure at 4 minutes, recovery at 7) with a flight recorder attached
+// and returns the full event log.
+func recordShortEpisode(t *testing.T) []recorder.Event {
+	t.Helper()
+	rec := recorder.New(1 << 18)
+	var buf bytes.Buffer
+	rec.AttachSink(recorder.NewSink(&buf))
+	_, err := emu.Run(emu.Config{
+		Tick:      time.Second,
+		FailAt:    4 * time.Minute,
+		RecoverAt: 7 * time.Minute,
+		Duration:  10 * time.Minute,
+		Seed:      1,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Overwritten() != 0 {
+		t.Fatalf("ring overwrote %d events; grow the capacity so the log is complete", rec.Overwritten())
+	}
+	if err := rec.DetachSink(); err != nil {
+		t.Fatalf("sink: %v", err)
+	}
+
+	// The JSONL sink and the in-memory ring must agree exactly.
+	fromSink, err := recorder.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("reading sink log: %v", err)
+	}
+	events := rec.Snapshot()
+	if len(fromSink) != len(events) {
+		t.Fatalf("sink has %d events, ring has %d", len(fromSink), len(events))
+	}
+	for i := range events {
+		if fromSink[i] != events[i] {
+			t.Fatalf("event %d differs across sink/ring:\n%+v\n%+v", i, fromSink[i], events[i])
+		}
+	}
+	return fromSink
+}
+
+// TestReplayEmulationEmptyDiff is the tentpole acceptance check: a
+// recorded single-UPS-failure episode replays to the identical action
+// sequence — the decision diff is empty.
+func TestReplayEmulationEmptyDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full emulation in -short mode")
+	}
+	events := recordShortEpisode(t)
+
+	rep, err := replay.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes == 0 {
+		t.Fatal("no overdraw episodes recorded")
+	}
+	if len(rep.Plans) == 0 {
+		t.Fatal("no planning passes recorded")
+	}
+	var committed int
+	for _, p := range rep.Plans {
+		if !p.Aborted && p.Recorded > 0 {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no committed plans with actions")
+	}
+	for _, p := range rep.Plans {
+		if !p.Match {
+			t.Errorf("plan seq=%d actor=%s episode=%d diverged: %s", p.Seq, p.Actor, p.Episode, p.Mismatch)
+		}
+	}
+	if !rep.DiffEmpty() {
+		t.Fatalf("decision diff not empty: %d/%d plans diverged", rep.Mismatched, len(rep.Plans))
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatalf("virtual clock did not advance: %v", rep.Elapsed)
+	}
+}
+
+// TestReplayEpisodeChain asserts the recorded log carries the complete
+// causal chain of the first episode: triggering sample-arrive through
+// detection, plan, dispatch, and ack.
+func TestReplayEpisodeChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full emulation in -short mode")
+	}
+	events := recordShortEpisode(t)
+
+	var episode uint64
+	for i := range events {
+		if events[i].Type == recorder.TypeOverdrawDetect {
+			episode = events[i].Episode
+			break
+		}
+	}
+	if episode == 0 {
+		t.Fatal("no overdraw detection in the log")
+	}
+	chain := recorder.ApplyFilter(events, recorder.Filter{Episode: episode, WithCauses: true})
+	got := map[recorder.Type]int{}
+	for _, e := range chain {
+		got[e.Type]++
+	}
+	for _, want := range []recorder.Type{
+		recorder.TypeSampleArrive, // pulled in through Cause links
+		recorder.TypeOverdrawDetect,
+		recorder.TypePlanStart,
+		recorder.TypeActionPlanned,
+		recorder.TypePlanCommit,
+		recorder.TypeActionDispatch,
+		recorder.TypeActionAck,
+	} {
+		if got[want] == 0 {
+			t.Errorf("episode %d closure has no %v events (have %v)", episode, want, got)
+		}
+	}
+}
+
+func TestReplayRejectsHeaderlessLog(t *testing.T) {
+	events := []recorder.Event{{Seq: 1, Type: recorder.TypePlanStart}}
+	if _, err := replay.Replay(events); err == nil {
+		t.Fatal("headerless log accepted")
+	}
+	if _, err := replay.Replay(nil); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"flex/internal/controller"
 	"flex/internal/impact"
+	"flex/internal/obs/recorder"
 	"flex/internal/placement"
 	"flex/internal/power"
 	"flex/internal/stats"
@@ -123,6 +124,12 @@ type Figure12Config struct {
 	Buffer power.Watts
 	// Seed drives sampling.
 	Seed int64
+	// Recorder, when non-nil, logs each (failure, sample) snapshot as an
+	// episode: ups-fail → plan-start → planned actions → plan-commit.
+	// Snapshot runs are timeless and headerless — the events carry zero
+	// timestamps and the log is for /events browsing, not for flexreplay
+	// (which needs an emulation recording with a replay header).
+	Recorder *recorder.Recorder
 }
 
 // Figure12Point is one x-axis point of Figure 12 for one scenario.
@@ -194,6 +201,9 @@ func RunFigure12(cfg Figure12Config) ([]Figure12Point, error) {
 				if insufficient {
 					pt.Insufficient++
 				}
+				if cfg.Recorder != nil {
+					recordSnapshot(cfg.Recorder, topo.UPSes[f].Name, util, actions, insufficient)
+				}
 				nShut, nThrottle := 0, 0
 				for _, a := range actions {
 					if a.Kind == controller.Shutdown {
@@ -217,6 +227,54 @@ func RunFigure12(cfg Figure12Config) ([]Figure12Point, error) {
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// recordSnapshot logs one Figure 12 snapshot as a causally-chained
+// episode on the flight recorder.
+func recordSnapshot(rec *recorder.Recorder, upsName string, util float64, actions []controller.PlannedAction, insufficient bool) {
+	ep := rec.NextEpisode()
+	fail := rec.Emit(recorder.Event{
+		Type:    recorder.TypeUPSFail,
+		Actor:   "fig12",
+		Subject: upsName,
+		Value:   util,
+		Episode: ep,
+	})
+	plan := rec.Emit(recorder.Event{
+		Type:    recorder.TypePlanStart,
+		Actor:   "fig12",
+		Subject: upsName,
+		Cause:   fail,
+		Episode: ep,
+	})
+	var recovered power.Watts
+	for _, a := range actions {
+		recovered += a.Recovered
+		rec.Emit(recorder.Event{
+			Type:    recorder.TypeActionPlanned,
+			Actor:   "fig12",
+			Subject: a.Rack,
+			Value:   float64(a.Recovered),
+			Score:   a.Impact,
+			Aux:     int64(a.Kind),
+			Detail:  a.Workload,
+			Cause:   plan,
+			Episode: ep,
+		})
+	}
+	commit := recorder.Event{
+		Type:    recorder.TypePlanCommit,
+		Actor:   "fig12",
+		Subject: upsName,
+		Value:   float64(recovered),
+		Aux:     int64(len(actions)),
+		Cause:   plan,
+		Episode: ep,
+	}
+	if insufficient {
+		commit.Detail = "insufficient"
+	}
+	rec.Emit(commit)
 }
 
 // DefaultUtilizations returns the paper's Figure 12 x-axis range:

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"flex/internal/obs/recorder"
 	"flex/internal/power"
 )
 
@@ -26,6 +27,11 @@ type LogicalMeter struct {
 	// which a read counts as a disagreement (default 0.05, set by
 	// NewLogicalMeter).
 	DisagreementFrac float64
+	// Recorder, when non-nil, emits a consensus-verdict event per
+	// successful read, a consensus-disagree event when the median masked
+	// a spread beyond DisagreementFrac, and a consensus-quorum-loss event
+	// on quorum failure. Set it before reads begin.
+	Recorder *recorder.Recorder
 }
 
 // NewLogicalMeter builds a consensus meter over the given physical meters.
@@ -49,6 +55,14 @@ func (l *LogicalMeter) Read(now time.Time) (power.Watts, error) {
 		vals = append(vals, float64(v))
 	}
 	if len(vals) < l.Quorum {
+		if l.Recorder != nil {
+			l.Recorder.Emit(recorder.Event{
+				Type:    recorder.TypeConsensusQuorumLoss,
+				Time:    now,
+				Subject: l.Device,
+				Aux:     int64(len(vals)),
+			})
+		}
 		return 0, fmt.Errorf("telemetry: device %s: %d/%d meters readable, quorum %d",
 			l.Device, len(vals), len(l.meters), l.Quorum)
 	}
@@ -58,9 +72,27 @@ func (l *LogicalMeter) Read(now time.Time) (power.Watts, error) {
 	if n%2 == 0 {
 		med = (vals[n/2-1] + vals[n/2]) / 2
 	}
-	if l.Metrics != nil && n >= 2 && med > 0 &&
-		(vals[n-1]-vals[0]) > l.DisagreementFrac*med {
+	disagree := n >= 2 && med > 0 && (vals[n-1]-vals[0]) > l.DisagreementFrac*med
+	if l.Metrics != nil && disagree {
 		l.Metrics.ConsensusDisagreements.Inc()
+	}
+	if l.Recorder != nil {
+		verdict := l.Recorder.Emit(recorder.Event{
+			Type:    recorder.TypeConsensusVerdict,
+			Time:    now,
+			Subject: l.Device,
+			Value:   med,
+			Aux:     int64(n),
+		})
+		if disagree {
+			l.Recorder.Emit(recorder.Event{
+				Type:    recorder.TypeConsensusDisagree,
+				Time:    now,
+				Subject: l.Device,
+				Value:   (vals[n-1] - vals[0]) / med,
+				Cause:   verdict,
+			})
+		}
 	}
 	return power.Watts(med), nil
 }

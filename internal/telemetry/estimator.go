@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"flex/internal/obs/recorder"
 	"flex/internal/power"
 )
 
@@ -21,6 +22,7 @@ type EWMAEstimator struct {
 	mean map[string]float64
 	dev  map[string]float64
 	at   map[string]time.Time
+	rec  *recorder.Recorder
 }
 
 // NewEWMAEstimator creates an estimator with smoothing factor alpha in
@@ -38,6 +40,16 @@ func NewEWMAEstimator(alpha float64) *EWMAEstimator {
 	}
 }
 
+// SetRecorder makes every accepted update emit an estimator-bound event
+// carrying the device's refreshed conservative lower bound (mean −
+// deviation, clamped at zero — what the controller plans from). Set it
+// before updates begin.
+func (e *EWMAEstimator) SetRecorder(rec *recorder.Recorder) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec = rec
+}
+
 // Update folds a valid sample into the estimate (invalid samples are
 // ignored; out-of-order samples are dropped).
 func (e *EWMAEstimator) Update(s Sample) {
@@ -45,8 +57,8 @@ func (e *EWMAEstimator) Update(s Sample) {
 		return
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if t, ok := e.at[s.Device]; ok && !s.MeasuredAt.After(t) {
+		e.mu.Unlock()
 		return
 	}
 	v := float64(s.Power)
@@ -54,13 +66,29 @@ func (e *EWMAEstimator) Update(s Sample) {
 	if !ok {
 		e.mean[s.Device] = v
 		e.dev[s.Device] = 0
-		e.at[s.Device] = s.MeasuredAt
+	} else {
+		diff := math.Abs(v - m)
+		e.mean[s.Device] = m + e.alpha*(v-m)
+		e.dev[s.Device] = e.dev[s.Device] + e.alpha*(diff-e.dev[s.Device])
+	}
+	e.at[s.Device] = s.MeasuredAt
+	bound := e.mean[s.Device] - e.dev[s.Device]
+	rec := e.rec
+	e.mu.Unlock()
+	if rec == nil {
 		return
 	}
-	diff := math.Abs(v - m)
-	e.mean[s.Device] = m + e.alpha*(v-m)
-	e.dev[s.Device] = e.dev[s.Device] + e.alpha*(diff-e.dev[s.Device])
-	e.at[s.Device] = s.MeasuredAt
+	if bound < 0 {
+		bound = 0
+	}
+	rec.Emit(recorder.Event{
+		Type:    recorder.TypeEstimatorBound,
+		Time:    s.MeasuredAt,
+		Subject: s.Device,
+		Value:   bound,
+		Score:   v,
+		Cause:   s.Event,
+	})
 }
 
 // Estimate returns the smoothed power for device.

@@ -6,6 +6,7 @@ import (
 
 	"flex/internal/clock"
 	"flex/internal/obs"
+	"flex/internal/obs/recorder"
 	"flex/internal/power"
 )
 
@@ -34,6 +35,11 @@ type PipelineConfig struct {
 	// counts, publish lag, drops, consensus disagreements) on the given
 	// registry.
 	Obs *obs.Registry
+	// Recorder, when non-nil, wires the flight recorder through the
+	// pipeline: pollers emit sample-publish, brokers emit sample-drop,
+	// and consensus meters emit verdict/disagree/quorum-loss events.
+	// Views wired via SubscribeAll opt in separately with SetRecorder.
+	Recorder *recorder.Recorder
 }
 
 // Pipeline is the assembled telemetry system for one room: per-device
@@ -82,6 +88,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	for i := 0; i < cfg.Brokers; i++ {
 		b := NewBroker(brokerName(i))
 		b.Metrics = p.Metrics
+		b.Recorder = cfg.Recorder
 		p.BrokerSet = append(p.BrokerSet, b)
 	}
 	seed := cfg.Seed
@@ -89,6 +96,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	for _, name := range sortedKeys(cfg.UPSSources) {
 		lm := NewUPSLogicalMeter(name, cfg.UPSSources[name], mech, seed)
 		lm.Metrics = p.Metrics
+		lm.Recorder = cfg.Recorder
 		seed += 10
 		p.UPSMeters[name] = lm
 		upsTargets = append(upsTargets, Target{Meter: lm, Topic: TopicUPS})
@@ -107,6 +115,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		}
 		lm.Quorum = 1
 		lm.Metrics = p.Metrics
+		lm.Recorder = cfg.Recorder
 		p.RackMeters[name] = lm
 		rackTargets = append(rackTargets, Target{Meter: lm, Topic: TopicRack})
 	}
@@ -119,6 +128,8 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		rack := NewPoller(pollerName(i, "rack"), cfg.Clock, cfg.RackInterval, pubs, rackTargets)
 		ups.Metrics = p.Metrics
 		rack.Metrics = p.Metrics
+		ups.Recorder = cfg.Recorder
+		rack.Recorder = cfg.Recorder
 		p.PollerSet = append(p.PollerSet, ups, rack)
 	}
 	return p

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flex/internal/clock"
+	"flex/internal/obs/recorder"
 	"flex/internal/power"
 )
 
@@ -29,6 +30,10 @@ type Poller struct {
 	// Metrics, when non-nil, receives poll/publish/invalid-read counts.
 	// Set it before Run (the pipeline wires it from PipelineConfig.Obs).
 	Metrics *Metrics
+	// Recorder, when non-nil, emits a sample-publish event per reading;
+	// the event's sequence rides on Sample.Event so downstream consumers
+	// can cite it as their Cause. Set it before Run.
+	Recorder *recorder.Recorder
 
 	mu    sync.Mutex
 	seq   map[string]uint64
@@ -79,6 +84,20 @@ func (p *Poller) PollOnce() {
 			MeasuredAt: now,
 			Poller:     p.Name,
 			Seq:        p.nextSeq(t.Meter.Device),
+		}
+		if p.Recorder != nil {
+			valid := int64(0)
+			if s.Valid {
+				valid = 1
+			}
+			s.Event = p.Recorder.Emit(recorder.Event{
+				Type:    recorder.TypeSamplePublish,
+				Time:    now,
+				Actor:   p.Name,
+				Subject: s.Device,
+				Value:   float64(s.Power),
+				Aux:     valid,
+			})
 		}
 		for _, b := range p.Brokers {
 			b.Publish(t.Topic, s)
@@ -158,11 +177,29 @@ type LatestPower struct {
 	mu    sync.Mutex
 	power map[string]power.Watts
 	at    map[string]time.Time
+	event map[string]uint64
+	rec   *recorder.Recorder
+	role  string
 }
 
 // NewLatestPower returns an empty view.
 func NewLatestPower() *LatestPower {
-	return &LatestPower{power: make(map[string]power.Watts), at: make(map[string]time.Time)}
+	return &LatestPower{
+		power: make(map[string]power.Watts),
+		at:    make(map[string]time.Time),
+		event: make(map[string]uint64),
+	}
+}
+
+// SetRecorder makes every accepted sample emit a sample-arrive event
+// under the given role ("ups-view", "rack-view"); the event sequence is
+// retained per device so readers (GetEvent) can cite the arrival as the
+// Cause of decisions made from it. Set it before updates begin.
+func (l *LatestPower) SetRecorder(rec *recorder.Recorder, role string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rec = rec
+	l.role = role
 }
 
 // Update records a valid sample (invalid samples are ignored).
@@ -171,12 +208,32 @@ func (l *LatestPower) Update(s Sample) {
 		return
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if t, ok := l.at[s.Device]; ok && !s.MeasuredAt.After(t) {
+		l.mu.Unlock()
 		return
 	}
 	l.power[s.Device] = s.Power
 	l.at[s.Device] = s.MeasuredAt
+	rec, role := l.rec, l.role
+	l.mu.Unlock()
+	if rec == nil {
+		return
+	}
+	// Emit outside the mutex (eventcheck), then bind the arrival seq to
+	// the device — unless an even newer sample won the race meanwhile.
+	seq := rec.Emit(recorder.Event{
+		Type:    recorder.TypeSampleArrive,
+		Time:    s.MeasuredAt,
+		Actor:   role,
+		Subject: s.Device,
+		Value:   float64(s.Power),
+		Cause:   s.Event,
+	})
+	l.mu.Lock()
+	if l.at[s.Device].Equal(s.MeasuredAt) {
+		l.event[s.Device] = seq
+	}
+	l.mu.Unlock()
 }
 
 // Get returns the last power for device and whether one exists.
@@ -185,6 +242,15 @@ func (l *LatestPower) Get(device string) (power.Watts, time.Time, bool) {
 	defer l.mu.Unlock()
 	v, ok := l.power[device]
 	return v, l.at[device], ok
+}
+
+// GetEvent is Get plus the flight-recorder sequence of the sample-arrive
+// event that installed the reading (0 when the view is unrecorded).
+func (l *LatestPower) GetEvent(device string) (power.Watts, time.Time, uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.power[device]
+	return v, l.at[device], l.event[device], ok
 }
 
 // Snapshot copies the current view.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"flex/internal/obs/recorder"
 	"flex/internal/power"
 )
 
@@ -22,6 +23,10 @@ type Sample struct {
 	Poller string
 	// Seq increases per (Poller, Device).
 	Seq uint64
+	// Event is the flight-recorder sequence of this sample's
+	// sample-publish event (0 when unrecorded); downstream events
+	// reference it as their Cause, rooting the causal chain.
+	Event uint64
 }
 
 // Subscription receives samples for one topic. Drop-oldest semantics keep
@@ -64,6 +69,10 @@ type Broker struct {
 	// Metrics, when non-nil, counts samples dropped from slow subscriber
 	// buffers. Set it before publishing begins.
 	Metrics *Metrics
+	// Recorder, when non-nil, receives a sample-drop event whenever a
+	// lagging subscriber forces drop-oldest. Set it before publishing
+	// begins.
+	Recorder *recorder.Recorder
 
 	mu     sync.Mutex
 	topics map[string][]*Subscription
@@ -112,6 +121,7 @@ func (b *Broker) Publish(topic string, s Sample) {
 	}
 	subs := append([]*Subscription(nil), b.topics[topic]...)
 	b.mu.Unlock()
+	dropped := 0
 	for _, sub := range subs {
 		sub.mu.Lock()
 		if sub.closed {
@@ -125,6 +135,7 @@ func (b *Broker) Publish(topic string, s Sample) {
 				select {
 				case <-sub.C:
 					sub.dropped++
+					dropped++
 					if b.Metrics != nil {
 						b.Metrics.DroppedSamples.Inc()
 					}
@@ -135,6 +146,19 @@ func (b *Broker) Publish(topic string, s Sample) {
 			break
 		}
 		sub.mu.Unlock()
+	}
+	// One aggregated drop event per publish, emitted after every
+	// subscriber lock is released (eventcheck: no emission under a held
+	// mutex).
+	if dropped > 0 && b.Recorder != nil {
+		b.Recorder.Emit(recorder.Event{
+			Type:    recorder.TypeSampleDrop,
+			Time:    s.MeasuredAt,
+			Actor:   b.Name,
+			Subject: s.Device,
+			Cause:   s.Event,
+			Aux:     int64(dropped),
+		})
 	}
 }
 
