@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-solver figures fuzz examples replay-smoke ci clean
+.PHONY: all build vet lint lint-json test race cover bench bench-solver figures fuzz examples replay-smoke ci clean
 
 all: build vet lint test
 
@@ -12,12 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: clock hygiene, float equality, unit
-# mixing, lock discipline, flight-recorder emission discipline, discarded
-# shed-critical errors. See DESIGN.md ("Static analysis & correctness
-# tooling") and internal/analysis.
+# Project-specific static analysis: the interprocedural flexlint suite —
+# clock hygiene, context-budget flow, allocation-free hot paths, lock
+# ordering, float equality, unit mixing, lock discipline, flight-recorder
+# emission discipline, discarded shed-critical errors. See DESIGN.md
+# ("Static analysis") and internal/analysis.
 lint:
 	$(GO) run ./cmd/flexlint ./...
+
+# Same suite, machine-readable findings (what the CI lint job runs).
+lint-json:
+	$(GO) run ./cmd/flexlint -json ./...
 
 test:
 	$(GO) test ./...

@@ -2,30 +2,52 @@
 // repository: clockcheck (injected-clock discipline), floateq (no exact
 // float comparison in the numeric packages), unitcheck (no mixed power
 // units), locksend (no blocking operations under a mutex), eventcheck
-// (no flight-recorder emission under a mutex), and shedcheck (no
-// discarded errors on the power-shedding path).
+// (no flight-recorder emission under a mutex, interprocedural),
+// shedcheck (no discarded errors on the power-shedding path), allocfree
+// (//flex:hotpath functions are provably allocation-free), ctxflow (the
+// caller's context is never dropped on a budgeted path), and lockorder
+// (no mutex acquisition-order cycles across packages).
+//
+// The suite is interprocedural: flexlint analyzes the whole module in
+// one pass, building a module-wide call graph and letting analyzers
+// exchange per-function facts across package boundaries.
 //
 // Usage:
 //
 //	go run ./cmd/flexlint ./...
 //	go run ./cmd/flexlint -list
+//	go run ./cmd/flexlint -json ./...
 //	go run ./cmd/flexlint ./internal/telemetry ./internal/controller
 //
 // flexlint exits 1 when any analyzer reports a finding and 0 on a clean
-// tree. It analyzes non-test files only: the invariants it enforces are
-// deliberately relaxed in _test.go files.
+// tree. With -json the findings are printed as a JSON array (one object
+// per finding with file, line, col, message, analyzer) for CI
+// annotation. It analyzes non-test files only: the invariants it
+// enforces are deliberately relaxed in _test.go files.
+//
+// A finding can be suppressed — with a documented reason — by a
+// directive on, or directly above, the offending line:
+//
+//	//flexlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare ignore is itself reported.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"flex/internal/analysis"
+	"flex/internal/analysis/allocfree"
 	"flex/internal/analysis/clockcheck"
+	"flex/internal/analysis/ctxflow"
 	"flex/internal/analysis/eventcheck"
 	"flex/internal/analysis/floateq"
+	"flex/internal/analysis/lockorder"
 	"flex/internal/analysis/locksend"
 	"flex/internal/analysis/shedcheck"
 	"flex/internal/analysis/unitcheck"
@@ -33,9 +55,12 @@ import (
 
 // analyzers is the flexlint suite.
 var analyzers = []*analysis.Analyzer{
+	allocfree.Analyzer,
 	clockcheck.Analyzer,
+	ctxflow.Analyzer,
 	eventcheck.Analyzer,
 	floateq.Analyzer,
+	lockorder.Analyzer,
 	locksend.Analyzer,
 	shedcheck.Analyzer,
 	unitcheck.Analyzer,
@@ -56,8 +81,9 @@ var floateqScope = []string{
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: flexlint [-list] [-only name,...] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: flexlint [-list] [-json] [-only name,...] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the Flex correctness analyzers. Packages default to ./...\n\n")
 		flag.PrintDefaults()
 	}
@@ -92,7 +118,7 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	n, err := lint(suite, patterns)
+	n, err := lint(suite, patterns, *jsonOut)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
 		os.Exit(2)
@@ -103,9 +129,18 @@ func main() {
 	}
 }
 
+// jsonFinding is the -json wire format for one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
 // lint loads the patterns, runs the suite, prints findings, and returns
 // the finding count.
-func lint(suite []*analysis.Analyzer, patterns []string) (int, error) {
+func lint(suite []*analysis.Analyzer, patterns []string, jsonOut bool) (int, error) {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		return 0, err
@@ -132,6 +167,25 @@ func lint(suite []*analysis.Analyzer, patterns []string) (int, error) {
 		return 0, err
 	}
 	cwd, _ := os.Getwd()
+	if jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			pos := f.Position(loader.Fset)
+			name := pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+					name = rel
+				}
+			}
+			out = append(out, jsonFinding{File: name, Line: pos.Line, Col: pos.Column, Message: f.Message, Analyzer: f.Category})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return 0, err
+		}
+		return len(findings), nil
+	}
 	for _, f := range findings {
 		fmt.Println(analysis.Format(loader.Fset, cwd, f))
 	}

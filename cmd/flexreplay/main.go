@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -53,7 +54,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("reading %s: %w", fs.Arg(0), err)
 	}
 
-	rep, err := replay.Replay(events)
+	rep, err := replay.Replay(context.Background(), events)
 	if err != nil {
 		return err
 	}

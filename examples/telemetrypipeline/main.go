@@ -18,9 +18,10 @@ import (
 )
 
 func main() {
-	// One wall clock for the whole pipeline; swap in clock.NewVirtual to
-	// run the same scenario deterministically.
-	clk := clock.Real{}
+	// One wall clock for the whole pipeline, injected everywhere through
+	// the clock.Clock interface; swap in clock.NewVirtual to run the same
+	// scenario deterministically.
+	var clk clock.Clock = clock.Real{}
 
 	// Ground truth: one UPS ramping from 1.0 to 1.3MW.
 	var milliwatts atomic.Int64

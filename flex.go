@@ -408,8 +408,18 @@ func ManagedRacks(racks []RackInstance) []ManagedRack { return sim.ManagedRacks(
 // RunFigure12 produces the Figure 12 series for one scenario.
 func RunFigure12(cfg Figure12Config) ([]Figure12Point, error) { return sim.RunFigure12(cfg) }
 
-// RunEmulation executes the Figure 13 end-to-end emulation.
-func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) { return emu.Run(cfg) }
+// RunEmulation executes the Figure 13 end-to-end emulation without an
+// external cancellation point; prefer RunEmulationContext.
+func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
+	//flexlint:ignore ctxflow deprecated ctx-less facade shorthand; live callers use RunEmulationContext
+	return emu.Run(context.Background(), cfg)
+}
+
+// RunEmulationContext executes the Figure 13 end-to-end emulation. ctx
+// bounds the offline placement solve and every controller planning pass.
+func RunEmulationContext(ctx context.Context, cfg EmulationConfig) (*EmulationResult, error) {
+	return emu.Run(ctx, cfg)
+}
 
 // Flight recorder: the causally-ordered event log every subsystem can
 // emit into (telemetry, consensus, planning, actuation), and the
@@ -445,8 +455,19 @@ func NewFlightSink(w io.Writer) *FlightSink { return recorder.NewSink(w) }
 func ReadFlightEvents(r io.Reader) ([]FlightEvent, error) { return recorder.ReadEvents(r) }
 
 // ReplayEvents re-drives every recorded planning pass of an episode log
-// and diffs the replayed decisions against the recorded ones.
-func ReplayEvents(events []FlightEvent) (*ReplayReport, error) { return replay.Replay(events) }
+// and diffs the replayed decisions against the recorded ones, without an
+// external cancellation point; prefer ReplayEventsContext.
+func ReplayEvents(events []FlightEvent) (*ReplayReport, error) {
+	//flexlint:ignore ctxflow deprecated ctx-less facade shorthand; live callers use ReplayEventsContext
+	return replay.Replay(context.Background(), events)
+}
+
+// ReplayEventsContext re-drives every recorded planning pass of an
+// episode log under ctx and diffs the replayed decisions against the
+// recorded ones.
+func ReplayEventsContext(ctx context.Context, events []FlightEvent) (*ReplayReport, error) {
+	return replay.Replay(ctx, events)
+}
 
 // Analyses.
 type (

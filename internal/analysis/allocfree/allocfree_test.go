@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/allocfree"
+	"flex/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), allocfree.Analyzer, "hot", "lib")
+}

@@ -27,8 +27,16 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package. Diagnostics are delivered
 	// through pass.Report / pass.Reportf; the returned value is unused by
-	// flexlint but kept for x/tools API parity.
+	// flexlint but kept for x/tools API parity. The driver visits packages
+	// in dependency order, so facts exported by an imported package are
+	// visible when its importers run. Run may be nil for a whole-program
+	// analyzer that only implements Finish.
 	Run func(*Pass) (interface{}, error)
+	// Finish, when non-nil, runs once after every package's Run pass has
+	// completed. It sees the module-wide call graph and every exported
+	// fact, so it is where whole-program properties (reachability from
+	// hot-path roots, lock-order cycles) are checked.
+	Finish func(*ModulePass) error
 }
 
 // Pass is the interface between one analyzer and one package being
@@ -44,13 +52,84 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's results for Files.
 	TypesInfo *types.Info
+	// Graph is the module-wide call graph over every package in this run.
+	// Nil when the driver was not asked to build one (it always is under
+	// Run; direct Pass construction in tests may leave it unset).
+	Graph *CallGraph
 	// Report delivers one diagnostic. The driver sets it.
 	Report func(Diagnostic)
+
+	facts *factStore
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Category: p.Analyzer.Name})
+}
+
+// ExportObjectFact attaches a fact to obj for consumption by this
+// analyzer's later passes — in importing packages' Run passes or in
+// Finish. The fact type must be a pointer owned by this analyzer.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		panic("analysis: pass has no fact store (constructed outside Run)")
+	}
+	p.facts.export(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies the fact of fact's type previously exported on
+// obj into *fact, reporting whether one exists. Because the whole module
+// shares one type-checker, obj is the identical object the exporter saw,
+// whichever package it was declared in.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.imp(p.Analyzer, obj, fact)
+}
+
+// AllObjectFacts returns every fact of example's type this analyzer has
+// exported so far, in deterministic order.
+func (p *Pass) AllObjectFacts(example Fact) []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.all(p.Analyzer, example)
+}
+
+// ModulePass is the whole-program counterpart of Pass, handed to
+// Analyzer.Finish after every package has been visited.
+type ModulePass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Pkgs are every package in the run, in dependency order.
+	Pkgs []*Package
+	// Graph is the module-wide call graph.
+	Graph *CallGraph
+	// Report delivers one diagnostic. The driver sets it and attributes
+	// the finding to the package owning the diagnostic's file.
+	Report func(Diagnostic)
+
+	facts *factStore
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Category: p.Analyzer.Name})
+}
+
+// ImportObjectFact copies the fact of fact's type exported on obj during
+// the per-package passes into *fact, reporting whether one exists.
+func (p *ModulePass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.imp(p.Analyzer, obj, fact)
+}
+
+// AllObjectFacts returns every fact of example's type this analyzer
+// exported, in deterministic order.
+func (p *ModulePass) AllObjectFacts(example Fact) []ObjectFact {
+	return p.facts.all(p.Analyzer, example)
 }
 
 // Diagnostic is one finding.

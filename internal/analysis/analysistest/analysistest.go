@@ -51,9 +51,13 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads each fixture package from testdata/src/<path>, applies the
-// analyzer, and reports mismatches between produced and expected
-// diagnostics on t.
+// Run loads the fixture packages from testdata/src/<path> — together
+// with every fixture package they transitively import — applies the
+// analyzer to all of them in one interprocedural run (shared call graph
+// and fact store, dependency order), and reports mismatches between
+// produced and expected diagnostics on t. Want comments are honored in
+// imported fixture packages too, so a multi-package fixture can assert
+// diagnostics on both sides of a fact export/import boundary.
 func Run(t TestingT, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	loader, err := analysis.NewLoader("")
@@ -63,6 +67,7 @@ func Run(t TestingT, testdata string, a *analysis.Analyzer, paths ...string) {
 	loader.IncludeTests = true
 	src := filepath.Join(testdata, "src")
 	// Register every fixture directory so fixtures may import each other.
+	registered := make(map[string]bool)
 	err = filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
 		if err != nil || !d.IsDir() {
 			return err
@@ -77,7 +82,9 @@ func Run(t TestingT, testdata string, a *analysis.Analyzer, paths ...string) {
 				if err != nil {
 					return err
 				}
-				loader.RegisterDir(filepath.ToSlash(rel), path)
+				importPath := filepath.ToSlash(rel)
+				loader.RegisterDir(importPath, path)
+				registered[importPath] = true
 				break
 			}
 		}
@@ -87,29 +94,50 @@ func Run(t TestingT, testdata string, a *analysis.Analyzer, paths ...string) {
 		t.Fatalf("analysistest: scanning %s: %v", src, err)
 	}
 
-	for _, path := range paths {
+	var pkgs []*analysis.Package
+	seen := make(map[string]bool)
+	var add func(path string)
+	add = func(path string) {
+		if seen[path] {
+			return
+		}
+		seen[path] = true
 		pkg, err := loader.LoadImport(path)
 		if err != nil {
 			t.Fatalf("analysistest: loading %s: %v", path, err)
 		}
-		wants, err := collectWants(loader.Fset, pkg)
+		for _, imp := range pkg.Types.Imports() {
+			if registered[imp.Path()] {
+				add(imp.Path())
+			}
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, path := range paths {
+		add(path)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		w, err := collectWants(loader.Fset, pkg)
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
 		}
-		findings, err := analysis.Run(loader.Fset, []*analysis.Package{pkg}, []*analysis.Analyzer{a}, nil)
-		if err != nil {
-			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+		wants = append(wants, w...)
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		pos := f.Position(loader.Fset)
+		if w := match(wants, pos, f.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, f.Message)
 		}
-		for _, f := range findings {
-			pos := f.Position(loader.Fset)
-			if w := match(wants, pos, f.Message); w == nil {
-				t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, f.Message)
-			}
-		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
-			}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
 		}
 	}
 }

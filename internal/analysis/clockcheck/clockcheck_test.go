@@ -9,5 +9,5 @@ import (
 
 func TestClockcheck(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), clockcheck.Analyzer,
-		"a", "transport", "flex/internal/clock")
+		"a", "b", "transport", "flex/internal/clock")
 }

@@ -1,0 +1,30 @@
+// Fixture: interprocedural — static calls to clock-package functions
+// that touch the wall clock are flagged at the call site via the
+// exported fact; dynamic calls through the injected interface are the
+// sanctioned pattern and stay clean.
+package b
+
+import (
+	"time"
+
+	"flex/internal/clock"
+)
+
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+func badConcreteNow() time.Time {
+	var r clock.Real
+	return r.Now() // want `call to Now reaches the wall clock \(time\.Now\): inject it as a clock\.Clock`
+}
+
+func badConcreteSleep() {
+	clock.Real{}.Sleep(time.Millisecond) // want `call to Sleep reaches the wall clock \(time\.Sleep\)`
+}
+
+func goodInjected(c Clock) time.Time {
+	c.Sleep(time.Millisecond)
+	return c.Now()
+}

@@ -1,0 +1,274 @@
+// Package ctxflow guards the ctx-first API discipline that bounds plan
+// latency: a context.Context carrying the caller's budget must flow,
+// unbroken, from the caller into every budgeted operation
+// (SolveContext, PlanContext, …). A context.Background() spliced into
+// the middle of that chain silently discards the budget — the solver
+// then runs unbounded inside the 10-second battery window the paper's
+// safety argument depends on.
+//
+// The analyzer computes, via the fact store, the set of context sinks:
+// seed sinks are exported functions named *Context whose first
+// parameter is a context.Context (the repo's ctx-first convention), and
+// the set closes over functions that forward their own ctx parameter to
+// a known sink (so placement.FlexOffline.Place, which hands its ctx to
+// the MILP solver, is a sink too). It reports:
+//
+//   - context.Background()/context.TODO() passed to a sink from a
+//     function that has no context parameter — the caller's budget is
+//     unrecoverably dropped; the function must accept a ctx.
+//   - context.Background()/context.TODO() anywhere in a function that
+//     already has a context parameter — thread the parameter instead.
+//   - time.Sleep statically reachable from a seed sink (whole-program
+//     pass) — a budgeted path blocking without consulting the context.
+//
+// package main (the CLI edge, where creating the root context is
+// correct) and _test.go files are exempt.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"flex/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid dropping the caller's context on budgeted paths\n\n" +
+		"context.Background()/TODO() spliced into a chain that reaches\n" +
+		"SolveContext/PlanContext discards the plan budget; functions on\n" +
+		"that chain must accept and thread the caller's ctx.",
+	Run:    run,
+	Finish: finish,
+}
+
+// sinkFact marks a function that feeds its context into a budgeted
+// operation: a seed sink (exported *Context function) or any function
+// forwarding its ctx parameter to a known sink.
+type sinkFact struct{}
+
+func (*sinkFact) AFact() {}
+
+func isCtxType(t types.Type) bool { return t.String() == "context.Context" }
+
+// seedSink reports whether fn follows the repo's ctx-first sink
+// convention: exported, named *Context, first parameter context.Context.
+func seedSink(fn *types.Func) bool {
+	if !fn.Exported() || !strings.HasSuffix(fn.Name(), "Context") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isCtxType(sig.Params().At(0).Type())
+}
+
+// backgroundCall returns "Background" or "TODO" when call is
+// context.Background() / context.TODO(), else "".
+func backgroundCall(info *types.Info, call *ast.CallExpr) string {
+	switch analysis.PkgFunc(info, call) {
+	case "context.Background":
+		return "Background"
+	case "context.TODO":
+		return "TODO"
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fnDecl
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fnDecl{obj, fd})
+			}
+		}
+	}
+
+	// Seed sinks, then close over ctx-forwarding functions. Imported
+	// packages' facts already exist (dependency order); the fixpoint
+	// handles same-package chains in any declaration order.
+	for _, fn := range fns {
+		if seedSink(fn.obj) {
+			pass.ExportObjectFact(fn.obj, &sinkFact{})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			var have sinkFact
+			if pass.ImportObjectFact(fn.obj, &have) {
+				continue
+			}
+			params := ctxParams(pass.TypesInfo, fn.decl)
+			if len(params) == 0 {
+				continue
+			}
+			if forwardsToSink(pass, fn.decl, params) {
+				pass.ExportObjectFact(fn.obj, &sinkFact{})
+				changed = true
+			}
+		}
+	}
+
+	for _, fn := range fns {
+		params := ctxParams(pass.TypesInfo, fn.decl)
+		if len(params) > 0 {
+			// The function already has a budget-carrying ctx; a fresh
+			// Background/TODO anywhere in it severs the chain.
+			ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := backgroundCall(pass.TypesInfo, call); name != "" {
+					pass.Reportf(call.Pos(), "context.%s() in a function that already has a context parameter: thread %s instead so the plan budget is preserved", name, params[0].Name())
+				}
+				return true
+			})
+			continue
+		}
+		// Ctx-less function: flag Background/TODO handed to a sink.
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.StaticCallee(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			var fact sinkFact
+			if !pass.ImportObjectFact(callee, &fact) {
+				return true
+			}
+			for _, arg := range call.Args {
+				argCall, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if name := backgroundCall(pass.TypesInfo, argCall); name != "" {
+					pass.Reportf(argCall.Pos(), "context.%s() passed to %s from a function with no context parameter: accept a ctx from the caller so the plan budget is not dropped", name, callee.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// ctxParams returns the declared context.Context parameter objects of fd.
+func ctxParams(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && isCtxType(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// forwardsToSink reports whether fd passes one of its ctx parameters as
+// an argument in a static call to a fact-carrying sink.
+func forwardsToSink(pass *analysis.Pass, fd *ast.FuncDecl, params []*types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		var fact sinkFact
+		if !pass.ImportObjectFact(callee, &fact) {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			use, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			for _, p := range params {
+				if use == p {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// finish is the whole-program pass: any time.Sleep statically reachable
+// from a seed sink blocks a budgeted path without consulting the
+// context.
+func finish(mp *analysis.ModulePass) error {
+	var roots []*analysis.CallNode
+	for _, n := range mp.Graph.Nodes() {
+		if seedSink(n.Func) {
+			roots = append(roots, n)
+		}
+	}
+	reached := mp.Graph.Reachable(roots, false)
+	for _, n := range mp.Graph.Nodes() {
+		if _, ok := reached[n]; !ok {
+			continue
+		}
+		if n.Pkg.Types.Name() == "main" || exemptClock(n.Pkg.Path) {
+			continue
+		}
+		if strings.HasSuffix(mp.Fset.Position(n.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		info := n.Pkg.TypesInfo
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if analysis.PkgFunc(info, call) == "time.Sleep" {
+				mp.Reportf(call.Pos(), "time.Sleep in %s, which is reachable from a context sink: wait on ctx.Done() or the injected clock so the plan budget is honored", n.Func.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exemptClock matches the injectable clock package, whose Real
+// implementation legitimately sleeps on the wall clock.
+func exemptClock(path string) bool {
+	return path == "internal/clock" || strings.HasSuffix(path, "/internal/clock")
+}

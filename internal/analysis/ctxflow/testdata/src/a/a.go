@@ -1,0 +1,38 @@
+// Fixture: context.Background()/TODO() spliced into chains that reach a
+// budgeted sink. The sink fact is imported across the package boundary
+// (solver.SolveContext) and closed over the local forwarder (plan).
+package a
+
+import (
+	"context"
+
+	"solver"
+)
+
+// plan forwards its ctx to the solver, so it becomes a sink too.
+func plan(ctx context.Context, n int) int {
+	return solver.SolveContext(ctx, n)
+}
+
+func badDirect(n int) int {
+	return solver.SolveContext(context.Background(), n) // want `context\.Background\(\) passed to SolveContext from a function with no context parameter`
+}
+
+func badViaForwarder(n int) int {
+	return plan(context.TODO(), n) // want `context\.TODO\(\) passed to plan from a function with no context parameter`
+}
+
+func badAlreadyHasCtx(ctx context.Context, n int) int {
+	return solver.SolveContext(context.Background(), n) // want `context\.Background\(\) in a function that already has a context parameter: thread ctx instead`
+}
+
+func goodThreaded(ctx context.Context, n int) int {
+	return plan(ctx, n)
+}
+
+// goodIgnored is suppressed by a documented ignore directive on the line
+// above the offending call.
+func goodIgnored(n int) int {
+	//flexlint:ignore ctxflow fixture-sanctioned ctx-less shorthand
+	return solver.SolveContext(context.Background(), n)
+}

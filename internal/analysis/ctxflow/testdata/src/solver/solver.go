@@ -1,0 +1,23 @@
+// Fixture: the budgeted operation. SolveContext is a seed sink (exported,
+// *Context suffix, ctx-first); the helper it reaches sleeps, which the
+// whole-program pass flags — a budgeted path blocking without consulting
+// the context.
+package solver
+
+import (
+	"context"
+	"time"
+)
+
+// SolveContext is the budgeted entry point.
+func SolveContext(ctx context.Context, n int) int {
+	return descend(n)
+}
+
+func descend(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	time.Sleep(time.Millisecond) // want `time\.Sleep in descend, which is reachable from a context sink`
+	return descend(n-1) + 1
+}

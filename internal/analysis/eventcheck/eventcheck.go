@@ -1,6 +1,7 @@
 // Package eventcheck flags flight-recorder emission while a sync.Mutex
 // or sync.RWMutex is held: any method call on obs/recorder.Recorder
-// (Emit, NextEpisode, …) inside a critical section.
+// (Emit, NextEpisode, …) inside a critical section — directly, or
+// through any chain of helpers, across package boundaries.
 //
 // Recorder methods take the recorder's internal lock and, with a sink
 // attached, Emit serializes JSON and writes it under that lock. Calling
@@ -12,19 +13,25 @@
 // path in the repo collects what it needs under its lock, unlocks, then
 // emits; this analyzer keeps it that way.
 //
-// The held-lock tracking mirrors locksend's lexical walk: a lock is held
-// from x.Lock()/x.RLock() to x.Unlock()/x.RUnlock() in the same
-// statement sequence, a deferred unlock holds to the end of the
-// function, branches get a copy of the held set, and goroutine bodies
-// start clean.
+// Interprocedurally, the analyzer exports an emits fact on every
+// function from which a recorder method call is statically reachable
+// (the defining package publishes it; importers consume it), so a
+// helper like logDecision() that emits is caught at a locked call site
+// in another package just like a direct r.Emit would be.
+//
+// The held-lock tracking is the shared lexical walk in
+// flex/internal/analysis/lockflow (see that package for the exact
+// semantics).
 package eventcheck
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
 
 	"flex/internal/analysis"
+	"flex/internal/analysis/lockflow"
 )
 
 // Analyzer is the eventcheck analyzer.
@@ -33,210 +40,125 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flag flight-recorder emission while a sync mutex is held\n\n" +
 		"Recorder methods lock internally and may write to a sink; calling\n" +
 		"them under a component mutex nests locks and drags serialization\n" +
-		"and I/O into the critical section. Emit after unlocking.",
+		"and I/O into the critical section. Emit after unlocking — directly\n" +
+		"and through helper functions in any package.",
 	Run: run,
-}
-
-// mutexRecvs are receiver types whose Lock/Unlock family manages a mutex.
-var mutexRecvs = map[string]bool{
-	"*sync.Mutex":   true,
-	"*sync.RWMutex": true,
-	"sync.Locker":   true,
 }
 
 // recorderSuffix identifies the flight-recorder type across fixture and
 // real import paths.
 const recorderSuffix = "internal/obs/recorder.Recorder"
 
+// emitsFact marks a function from which a flight-recorder method call is
+// statically reachable.
+type emitsFact struct {
+	// Via names the recorder method ("Emit") or the intermediate callee
+	// ("telemetry.logDecision") the emission flows through.
+	Via string
+}
+
+func (*emitsFact) AFact() {}
+
 func run(pass *analysis.Pass) (interface{}, error) {
-	c := &checker{pass: pass}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				c.walkStmts(fn.Body.List, nil)
+	exportEmitters(pass)
+
+	lockflow.Walk(pass.TypesInfo, pass.Files, lockflow.Hooks{
+		OnCall: func(call *ast.CallExpr, held []lockflow.Lock) {
+			if len(held) == 0 {
+				return
 			}
-		}
-	}
+			if name := recorderCall(pass.TypesInfo, call); name != "" {
+				pass.Reportf(call.Pos(), "flight-recorder %s while mutex %q is held; collect the event under the lock and emit after unlocking", name, held[0].Key)
+				return
+			}
+			callee := analysis.StaticCallee(pass.TypesInfo, call)
+			if callee == nil {
+				return
+			}
+			var fact emitsFact
+			if pass.ImportObjectFact(callee, &fact) {
+				pass.Reportf(call.Pos(), "call to %s emits flight-recorder events (via %s) while mutex %q is held; emit after unlocking", callee.Name(), fact.Via, held[0].Key)
+			}
+		},
+	})
 	return nil, nil
 }
 
-type checker struct {
-	pass *analysis.Pass
-}
-
-// walkStmts threads the held-lock set through a statement sequence and
-// returns it as of the end.
-func (c *checker) walkStmts(stmts []ast.Stmt, held []string) []string {
-	for _, stmt := range stmts {
-		held = c.walkStmt(stmt, held)
+// exportEmitters publishes an emitsFact for every function in the package
+// from which a recorder method call is statically reachable. Facts from
+// imported packages already exist (the driver runs packages in dependency
+// order); a fixpoint loop handles helper chains within this package
+// regardless of declaration order.
+func exportEmitters(pass *analysis.Pass) {
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
 	}
-	return held
-}
-
-func (c *checker) walkStmt(stmt ast.Stmt, held []string) []string {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if key, kind := c.lockOp(call); kind == opLock {
-				return append(copyOf(held), key)
-			} else if kind == opUnlock {
-				return remove(held, key)
+	var fns []fnDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fnDecl{obj, fd})
 			}
 		}
-		c.checkExpr(s.X, held)
-	case *ast.SendStmt:
-		c.checkExpr(s.Chan, held)
-		c.checkExpr(s.Value, held)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			c.checkExpr(e, held)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						c.checkExpr(e, held)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			var have emitsFact
+			if pass.ImportObjectFact(fn.obj, &have) {
+				continue
+			}
+			via := ""
+			ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+				if via != "" {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := recorderCall(pass.TypesInfo, call); name != "" {
+					via = name
+					return false
+				}
+				if callee := analysis.StaticCallee(pass.TypesInfo, call); callee != nil {
+					var fact emitsFact
+					if pass.ImportObjectFact(callee, &fact) {
+						via = calleeLabel(callee)
+						return false
 					}
 				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			c.checkExpr(e, held)
-		}
-	case *ast.IncDecStmt:
-		c.checkExpr(s.X, held)
-	case *ast.DeferStmt:
-		// A deferred unlock keeps the lock held for the remaining walk;
-		// a deferred Emit runs at return, possibly still under a deferred
-		// unlock registered earlier, but ordering deferred calls is beyond
-		// this lexical analysis.
-	case *ast.GoStmt:
-		// The spawned goroutine does not inherit the caller's locks.
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			c.walkStmts(lit.Body.List, nil)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held = c.walkStmt(s.Init, held)
-		}
-		c.checkExpr(s.Cond, held)
-		c.walkStmts(s.Body.List, copyOf(held))
-		if s.Else != nil {
-			c.walkStmt(s.Else, copyOf(held))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held = c.walkStmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			c.checkExpr(s.Cond, held)
-		}
-		body := copyOf(held)
-		body = c.walkStmts(s.Body.List, body)
-		if s.Post != nil {
-			c.walkStmt(s.Post, body)
-		}
-	case *ast.RangeStmt:
-		c.checkExpr(s.X, held)
-		c.walkStmts(s.Body.List, copyOf(held))
-	case *ast.BlockStmt:
-		held = c.walkStmts(s.List, held)
-	case *ast.LabeledStmt:
-		held = c.walkStmt(s.Stmt, held)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			held = c.walkStmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			c.checkExpr(s.Tag, held)
-		}
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body, copyOf(held))
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body, copyOf(held))
-			}
-		}
-	case *ast.SelectStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CommClause); ok {
-				c.walkStmts(cc.Body, copyOf(held))
+				return true
+			})
+			if via != "" {
+				pass.ExportObjectFact(fn.obj, &emitsFact{Via: via})
+				changed = true
 			}
 		}
 	}
-	return held
 }
 
-// checkExpr reports recorder method calls syntactically inside e.
-// Function literals start a fresh (un-locked) context unless immediately
-// invoked.
-func (c *checker) checkExpr(e ast.Expr, held []string) {
-	if e == nil {
-		return
+// calleeLabel renders a short "pkg.Func" label for diagnostics.
+func calleeLabel(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch v := n.(type) {
-		case *ast.FuncLit:
-			c.walkStmts(v.Body.List, nil)
-			return false
-		case *ast.CallExpr:
-			if lit, ok := v.Fun.(*ast.FuncLit); ok {
-				// Immediately-invoked literal runs under the caller's locks.
-				for _, arg := range v.Args {
-					c.checkExpr(arg, held)
-				}
-				c.walkStmts(lit.Body.List, copyOf(held))
-				return false
-			}
-			if len(held) > 0 {
-				if name := c.recorderCall(v); name != "" {
-					c.pass.Reportf(v.Pos(), "flight-recorder %s while mutex %q is held; collect the event under the lock and emit after unlocking", name, held[0])
-				}
-			}
-		}
-		return true
-	})
-}
-
-type lockOpKind int
-
-const (
-	opNone lockOpKind = iota
-	opLock
-	opUnlock
-)
-
-// lockOp classifies a call as taking or releasing a mutex and returns the
-// lock's receiver expression ("s.mu") as its identity.
-func (c *checker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
-	recv, name, ok := analysis.MethodRecv(c.pass.TypesInfo, call)
-	if !ok || !mutexRecvs[recv] {
-		return "", opNone
+	path := fn.Pkg().Path()
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", opNone
-	}
-	key := types.ExprString(sel.X)
-	switch name {
-	case "Lock", "RLock":
-		return key, opLock
-	case "Unlock", "RUnlock":
-		return key, opUnlock
-	}
-	return "", opNone
+	return fmt.Sprintf("%s.%s", path, fn.Name())
 }
 
 // recorderCall returns a display name ("Emit") when the call is a method
 // on the flight recorder (pointer or value receiver).
-func (c *checker) recorderCall(call *ast.CallExpr) string {
-	recv, name, ok := analysis.MethodRecv(c.pass.TypesInfo, call)
+func recorderCall(info *types.Info, call *ast.CallExpr) string {
+	recv, name, ok := analysis.MethodRecv(info, call)
 	if !ok {
 		return ""
 	}
@@ -245,18 +167,4 @@ func (c *checker) recorderCall(call *ast.CallExpr) string {
 		return ""
 	}
 	return name
-}
-
-func copyOf(held []string) []string {
-	return append([]string(nil), held...)
-}
-
-func remove(held []string, key string) []string {
-	out := make([]string, 0, len(held))
-	for _, h := range held {
-		if h != key {
-			out = append(out, h)
-		}
-	}
-	return out
 }

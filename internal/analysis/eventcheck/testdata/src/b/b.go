@@ -1,0 +1,36 @@
+// Fixture: interprocedural — calling an emitting helper from another
+// package while a mutex is held is flagged just like a direct Emit.
+package b
+
+import (
+	"sync"
+
+	"emit"
+	"flex/internal/obs/recorder"
+)
+
+type Gate struct {
+	mu  sync.Mutex
+	rec *recorder.Recorder
+	n   int
+}
+
+func (g *Gate) badHelperUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	emit.Notify(g.rec) // want `call to Notify emits flight-recorder events \(via Emit\) while mutex "g\.mu" is held`
+}
+
+func (g *Gate) badChainUnderLock() {
+	g.mu.Lock()
+	emit.NotifyAll(g.rec) // want `call to NotifyAll emits flight-recorder events \(via emit\.Notify\) while mutex "g\.mu" is held`
+	g.mu.Unlock()
+}
+
+func (g *Gate) goodHelperAfterUnlock() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	emit.Notify(g.rec)
+}

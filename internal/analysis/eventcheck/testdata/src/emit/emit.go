@@ -1,0 +1,17 @@
+// Fixture: a helper package that emits flight-recorder events. Importers
+// calling these under a held mutex are flagged interprocedurally through
+// the exported emits fact.
+package emit
+
+import "flex/internal/obs/recorder"
+
+// Notify emits directly.
+func Notify(r *recorder.Recorder) {
+	r.Emit(recorder.Event{Type: 9})
+}
+
+// NotifyAll reaches the recorder through Notify, so it carries the fact
+// too, with the intermediate callee recorded.
+func NotifyAll(r *recorder.Recorder) {
+	Notify(r)
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a unit of information one analyzer attaches to a types.Object
+// (usually a *types.Func) so that other passes — in the same package or in
+// a downstream importer — can consume it. The design mirrors
+// golang.org/x/tools/go/analysis facts: a fact type is a pointer type
+// owned by exactly one analyzer, and the marker method keeps arbitrary
+// values out of the store.
+//
+// Because flexlint analyzes the whole module in one process over a shared
+// FileSet and type-checker, facts need no serialized export/import step:
+// the store keys directly on the canonical types.Object identity, which is
+// stable across packages (an importer sees the very same *types.Func the
+// defining package exported the fact on).
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one fact attached to it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+	typ      reflect.Type
+}
+
+// factStore holds every fact exported during one Run, namespaced by
+// (analyzer, object, fact type).
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore { return &factStore{m: make(map[factKey]Fact)} }
+
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer type", f))
+	}
+	return t
+}
+
+func (s *factStore) export(a *Analyzer, obj types.Object, f Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	s.m[factKey{a, obj, factType(f)}] = f
+}
+
+// imp copies a stored fact into *f and reports whether one existed.
+func (s *factStore) imp(a *Analyzer, obj types.Object, f Fact) bool {
+	if obj == nil {
+		return false
+	}
+	got, ok := s.m[factKey{a, obj, factType(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// all returns every fact of example's type exported by a, sorted by object
+// position for deterministic iteration.
+func (s *factStore) all(a *Analyzer, example Fact) []ObjectFact {
+	t := factType(example)
+	var out []ObjectFact
+	for k, f := range s.m {
+		if k.analyzer == a && k.typ == t {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object.Pos() != out[j].Object.Pos() {
+			return out[i].Object.Pos() < out[j].Object.Pos()
+		}
+		return out[i].Object.Id() < out[j].Object.Id()
+	})
+	return out
+}

@@ -1,0 +1,154 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"flex/internal/analysis"
+)
+
+// stampFact marks a function the test analyzer found interesting.
+type stampFact struct{ Label string }
+
+func (*stampFact) AFact() {}
+
+// TestFactsFlowAcrossPackages exports a fact on a function in the
+// defining package and consumes it at a call site in an importer, then
+// reads the accumulated store back in the Finish pass.
+func TestFactsFlowAcrossPackages(t *testing.T) {
+	writeFiles(t, map[string]string{
+		"go.mod": "module example.com/facts\n\ngo 1.22\n",
+		"util/util.go": `package util
+
+func Stamp() int { return 1 }
+
+func Plain() int { return 2 }
+`,
+		"app/app.go": `package app
+
+import "example.com/facts/util"
+
+func Use() int { return util.Stamp() + util.Plain() }
+`,
+	})
+	loader, pkgs := loadAll(t)
+
+	var finishFacts []analysis.ObjectFact
+	marker := &analysis.Analyzer{
+		Name: "marker",
+		Doc:  "test analyzer: fact export/import across packages",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			if pass.Pkg.Name() == "util" {
+				fn, ok := pass.Pkg.Scope().Lookup("Stamp").(*types.Func)
+				if !ok {
+					t.Fatal("util.Stamp not found")
+				}
+				pass.ExportObjectFact(fn, &stampFact{Label: "wall"})
+				return nil, nil
+			}
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := analysis.StaticCallee(pass.TypesInfo, call)
+					if callee == nil {
+						return true
+					}
+					var fact stampFact
+					if pass.ImportObjectFact(callee, &fact) {
+						pass.Reportf(call.Pos(), "call to fact carrier %s (%s)", callee.Name(), fact.Label)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+		Finish: func(mp *analysis.ModulePass) error {
+			finishFacts = mp.AllObjectFacts(&stampFact{})
+			return nil
+		},
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{marker}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	if want := "call to fact carrier Stamp (wall)"; findings[0].Message != want {
+		t.Fatalf("message = %q, want %q", findings[0].Message, want)
+	}
+	if !strings.HasSuffix(findings[0].Pkg.Path, "/app") {
+		t.Fatalf("finding attributed to %s, want the importer", findings[0].Pkg.Path)
+	}
+	if len(finishFacts) != 1 || finishFacts[0].Object.Name() != "Stamp" {
+		t.Fatalf("AllObjectFacts = %+v, want the single Stamp fact", finishFacts)
+	}
+	if got := finishFacts[0].Fact.(*stampFact).Label; got != "wall" {
+		t.Fatalf("fact label = %q, want wall", got)
+	}
+}
+
+// TestIgnoreDirectives checks suppression on the same line and the line
+// above, analyzer-name matching, and the malformed-directive diagnostic.
+func TestIgnoreDirectives(t *testing.T) {
+	writeFiles(t, map[string]string{
+		"go.mod": "module example.com/ig\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+func SameLine() {} //flexlint:ignore noisy documented trailing suppression
+
+//flexlint:ignore noisy documented suppression above the line
+func LineAbove() {}
+
+func Reported() {}
+
+//flexlint:ignore noisy
+func BareIgnore() {}
+
+//flexlint:ignore other reason naming a different analyzer
+func WrongAnalyzer() {}
+`,
+	})
+	loader, pkgs := loadAll(t)
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "test analyzer: reports every function declaration",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					if fn, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "func %s", fn.Name.Name)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{noisy}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Category+": "+f.Message)
+	}
+	want := []string{
+		"noisy: func Reported",
+		"flexlint: flexlint:ignore requires an analyzer name and a reason, e.g. //flexlint:ignore ctxflow caller is a documented ctx-less wrapper",
+		"noisy: func BareIgnore",
+		"noisy: func WrongAnalyzer",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"flex/internal/analysis/analysistest"
+	"flex/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "x", "y", "z")
+}

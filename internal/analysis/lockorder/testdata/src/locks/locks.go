@@ -1,0 +1,36 @@
+// Fixture: the shared lock classes. Registry and Device are nested in
+// opposite orders by packages x and y (a cycle); Pool and Conn are nested
+// consistently by package z (no cycle). Bump lets an importer create an
+// acquisition-order edge through a cross-package call.
+package locks
+
+import "sync"
+
+// Registry holds the fleet index.
+type Registry struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Device is one managed device.
+type Device struct {
+	Mu sync.Mutex
+	V  int
+}
+
+// Bump acquires Device.Mu, so callers holding another lock create an
+// edge into locks.Device.Mu.
+func Bump(d *Device) {
+	d.Mu.Lock()
+	d.V++
+	d.Mu.Unlock()
+}
+
+// Pool and Conn are always nested Pool -> Conn; no cycle.
+type Pool struct {
+	Mu sync.Mutex
+}
+
+type Conn struct {
+	Mu sync.Mutex
+}

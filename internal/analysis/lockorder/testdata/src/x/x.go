@@ -1,0 +1,15 @@
+// Fixture: nests Registry.Mu -> Device.Mu, through a cross-package call.
+// Together with package y's reverse nesting this closes the cycle; the
+// diagnostic is anchored in y (the lexically first intra-cycle edge).
+package x
+
+import "locks"
+
+// Update acquires Registry.Mu, then calls locks.Bump, which acquires
+// Device.Mu: edge locks.Registry.Mu -> locks.Device.Mu.
+func Update(r *locks.Registry, d *locks.Device) {
+	r.Mu.Lock()
+	r.N++
+	locks.Bump(d)
+	r.Mu.Unlock()
+}

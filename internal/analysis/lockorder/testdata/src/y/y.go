@@ -1,0 +1,14 @@
+// Fixture: nests Device.Mu -> Registry.Mu directly — the reverse of
+// package x's order, closing the cycle.
+package y
+
+import "locks"
+
+// Refresh acquires Device.Mu, then Registry.Mu while it is held.
+func Refresh(r *locks.Registry, d *locks.Device) {
+	d.Mu.Lock()
+	r.Mu.Lock() // want `mutex acquisition-order cycle locks\.Device\.Mu -> locks\.Registry\.Mu: acquiring locks\.Registry\.Mu while locks\.Device\.Mu is held here conflicts with the reverse nesting elsewhere`
+	r.N = d.V
+	r.Mu.Unlock()
+	d.Mu.Unlock()
+}

@@ -1,0 +1,20 @@
+// Fixture: consistent nesting is clean. Both functions acquire Pool.Mu
+// before Conn.Mu, so the Pool->Conn edge never gains a reverse and no
+// cycle is reported.
+package z
+
+import "locks"
+
+func Borrow(p *locks.Pool, c *locks.Conn) {
+	p.Mu.Lock()
+	c.Mu.Lock()
+	c.Mu.Unlock()
+	p.Mu.Unlock()
+}
+
+func Return(p *locks.Pool, c *locks.Conn) {
+	p.Mu.Lock()
+	c.Mu.Lock()
+	c.Mu.Unlock()
+	p.Mu.Unlock()
+}

@@ -10,20 +10,20 @@
 // subscriber stalls. The drop-oldest pattern those paths use — a select
 // with a default case — never blocks and is not flagged.
 //
-// The analysis is an intentionally simple lexical walk over each function
-// body: a lock is considered held from a successful x.Lock()/x.RLock()
-// until x.Unlock()/x.RUnlock() in the same statement sequence; a deferred
-// unlock keeps the lock held to the end of the function; branches are
-// walked with a copy of the held set. goroutine bodies and non-invoked
-// function literals start with an empty held set.
+// The held-lock tracking is the shared lexical walk in
+// flex/internal/analysis/lockflow: a lock is held from a successful
+// x.Lock()/x.RLock() until x.Unlock()/x.RUnlock() in the same statement
+// sequence; a deferred unlock keeps the lock held to the end of the
+// function; branches are walked with a copy of the held set; goroutine
+// bodies and non-invoked function literals start with an empty held set.
 package locksend
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"flex/internal/analysis"
+	"flex/internal/analysis/lockflow"
 )
 
 // Analyzer is the locksend analyzer.
@@ -35,231 +35,43 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// mutexRecvs are receiver types whose Lock/Unlock family manages a mutex.
-var mutexRecvs = map[string]bool{
-	"*sync.Mutex":   true,
-	"*sync.RWMutex": true,
-	"sync.Locker":   true,
-}
-
 func run(pass *analysis.Pass) (interface{}, error) {
-	c := &checker{pass: pass}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				c.walkStmts(fn.Body.List, nil)
-			}
-		}
-	}
-	return nil, nil
-}
-
-type checker struct {
-	pass *analysis.Pass
-}
-
-// walkStmts processes a statement sequence, threading the held-lock set
-// through it, and returns the set as of the end of the sequence. Branch
-// bodies receive copies so that an unlock on an early-return path does
-// not leak into the fallthrough path.
-func (c *checker) walkStmts(stmts []ast.Stmt, held []string) []string {
-	for _, stmt := range stmts {
-		held = c.walkStmt(stmt, held)
-	}
-	return held
-}
-
-func (c *checker) walkStmt(stmt ast.Stmt, held []string) []string {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if key, kind := c.lockOp(call); kind == opLock {
-				return append(copyOf(held), key)
-			} else if kind == opUnlock {
-				return remove(held, key)
-			}
-		}
-		c.checkExpr(s.X, held)
-	case *ast.SendStmt:
-		if len(held) > 0 {
-			c.pass.Reportf(s.Arrow, "channel send while mutex %q is held; use a buffered non-blocking send or move the send outside the critical section", held[0])
-		}
-		c.checkExpr(s.Chan, held)
-		c.checkExpr(s.Value, held)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			c.checkExpr(e, held)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						c.checkExpr(e, held)
-					}
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			c.checkExpr(e, held)
-		}
-	case *ast.IncDecStmt:
-		c.checkExpr(s.X, held)
-	case *ast.DeferStmt:
-		// A deferred unlock keeps the lock held for the remaining walk,
-		// which is exactly right; other deferred calls run at return and
-		// are out of scope for this lexical analysis.
-	case *ast.GoStmt:
-		// The spawned goroutine does not inherit the caller's locks.
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			c.walkStmts(lit.Body.List, nil)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held = c.walkStmt(s.Init, held)
-		}
-		c.checkExpr(s.Cond, held)
-		c.walkStmts(s.Body.List, copyOf(held))
-		if s.Else != nil {
-			c.walkStmt(s.Else, copyOf(held))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held = c.walkStmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			c.checkExpr(s.Cond, held)
-		}
-		body := copyOf(held)
-		body = c.walkStmts(s.Body.List, body)
-		if s.Post != nil {
-			c.walkStmt(s.Post, body)
-		}
-	case *ast.RangeStmt:
-		c.checkExpr(s.X, held)
-		c.walkStmts(s.Body.List, copyOf(held))
-	case *ast.BlockStmt:
-		held = c.walkStmts(s.List, held)
-	case *ast.LabeledStmt:
-		held = c.walkStmt(s.Stmt, held)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			held = c.walkStmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			c.checkExpr(s.Tag, held)
-		}
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body, copyOf(held))
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body, copyOf(held))
-			}
-		}
-	case *ast.SelectStmt:
-		c.walkSelect(s, held)
-	}
-	return held
-}
-
-// walkSelect handles the one non-blocking construct: a select with a
-// default case never blocks on its communications, so only its case
-// bodies are checked. A default-less select under a lock blocks.
-func (c *checker) walkSelect(s *ast.SelectStmt, held []string) {
-	hasDefault := false
-	for _, clause := range s.Body.List {
-		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
-			hasDefault = true
-		}
-	}
-	if !hasDefault && len(held) > 0 {
-		c.pass.Reportf(s.Select, "blocking select while mutex %q is held; add a default case or move it outside the critical section", held[0])
-	}
-	for _, clause := range s.Body.List {
-		cc, ok := clause.(*ast.CommClause)
-		if !ok {
-			continue
-		}
-		c.walkStmts(cc.Body, copyOf(held))
-	}
-}
-
-// checkExpr reports blocking operations syntactically inside e. Function
-// literals start a fresh (un-locked) context unless immediately invoked.
-func (c *checker) checkExpr(e ast.Expr, held []string) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch v := n.(type) {
-		case *ast.FuncLit:
-			c.walkStmts(v.Body.List, nil)
-			return false
-		case *ast.CallExpr:
-			if lit, ok := v.Fun.(*ast.FuncLit); ok {
-				// Immediately-invoked literal runs under the caller's locks.
-				for _, arg := range v.Args {
-					c.checkExpr(arg, held)
-				}
-				c.walkStmts(lit.Body.List, copyOf(held))
-				return false
-			}
+	lockflow.Walk(pass.TypesInfo, pass.Files, lockflow.Hooks{
+		OnSend: func(s *ast.SendStmt, held []lockflow.Lock) {
 			if len(held) > 0 {
-				if name := c.blockingCall(v); name != "" {
-					c.pass.Reportf(v.Pos(), "call to %s may block while mutex %q is held", name, held[0])
-				}
+				pass.Reportf(s.Arrow, "channel send while mutex %q is held; use a buffered non-blocking send or move the send outside the critical section", held[0].Key)
 			}
-		case *ast.UnaryExpr:
-			if v.Op == token.ARROW && len(held) > 0 {
-				c.pass.Reportf(v.OpPos, "channel receive while mutex %q is held", held[0])
+		},
+		OnRecv: func(e *ast.UnaryExpr, held []lockflow.Lock) {
+			if len(held) > 0 {
+				pass.Reportf(e.OpPos, "channel receive while mutex %q is held", held[0].Key)
 			}
-		}
-		return true
+		},
+		OnBlockingSelect: func(s *ast.SelectStmt, held []lockflow.Lock) {
+			if len(held) > 0 {
+				pass.Reportf(s.Select, "blocking select while mutex %q is held; add a default case or move it outside the critical section", held[0].Key)
+			}
+		},
+		OnCall: func(call *ast.CallExpr, held []lockflow.Lock) {
+			if len(held) == 0 {
+				return
+			}
+			if name := blockingCall(pass.TypesInfo, call); name != "" {
+				pass.Reportf(call.Pos(), "call to %s may block while mutex %q is held", name, held[0].Key)
+			}
+		},
 	})
-}
-
-type lockOpKind int
-
-const (
-	opNone lockOpKind = iota
-	opLock
-	opUnlock
-)
-
-// lockOp classifies a call as taking or releasing a mutex and returns the
-// lock's receiver expression ("s.mu") as its identity.
-func (c *checker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
-	recv, name, ok := analysis.MethodRecv(c.pass.TypesInfo, call)
-	if !ok || !mutexRecvs[recv] {
-		return "", opNone
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", opNone
-	}
-	key := types.ExprString(sel.X)
-	switch name {
-	case "Lock", "RLock":
-		return key, opLock
-	case "Unlock", "RUnlock":
-		return key, opUnlock
-	}
-	return "", opNone
+	return nil, nil
 }
 
 // blockingCall returns a display name when the call is known to block:
 // time.Sleep, any Sleep(time.Duration) method (the injected clocks), or
 // sync.WaitGroup.Wait.
-func (c *checker) blockingCall(call *ast.CallExpr) string {
-	if analysis.PkgFunc(c.pass.TypesInfo, call) == "time.Sleep" {
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	if analysis.PkgFunc(info, call) == "time.Sleep" {
 		return "time.Sleep"
 	}
-	recv, name, ok := analysis.MethodRecv(c.pass.TypesInfo, call)
+	recv, name, ok := analysis.MethodRecv(info, call)
 	if !ok {
 		return ""
 	}
@@ -267,24 +79,10 @@ func (c *checker) blockingCall(call *ast.CallExpr) string {
 		return "(*sync.WaitGroup).Wait"
 	}
 	if name == "Sleep" {
-		if sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature); ok &&
+		if sig, ok := info.TypeOf(call.Fun).(*types.Signature); ok &&
 			sig.Params().Len() == 1 && sig.Params().At(0).Type().String() == "time.Duration" {
 			return "(" + recv + ").Sleep"
 		}
 	}
 	return ""
-}
-
-func copyOf(held []string) []string {
-	return append([]string(nil), held...)
-}
-
-func remove(held []string, key string) []string {
-	out := make([]string, 0, len(held))
-	for _, h := range held {
-		if h != key {
-			out = append(out, h)
-		}
-	}
-	return out
 }

@@ -170,6 +170,7 @@ func (c *Controller) snapshotUPS() ([]power.Watts, time.Time, []uint64) {
 // Step runs one evaluation round with no external cancellation point:
 // StepContext(context.Background()). The planning budget still applies.
 func (c *Controller) Step() StepOutcome {
+	//flexlint:ignore ctxflow deprecated ctx-less shorthand; live callers use StepContext
 	return c.StepContext(context.Background())
 }
 

@@ -82,6 +82,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 // recordStep folds one StepOutcome into the counters. It is the
 // controller's hot-path metrics update and must not allocate (asserted by
 // TestRecordStepZeroAllocations).
+//
+//flex:hotpath
 func (m *Metrics) recordStep(out *StepOutcome) {
 	if m == nil {
 		return
@@ -114,36 +116,42 @@ func (m *Metrics) recordStep(out *StepOutcome) {
 // The helpers below are nil-safe so Step can record mid-round events
 // without sprinkling nil checks through the control flow.
 
+//flex:hotpath
 func (m *Metrics) incEpisode() {
 	if m != nil {
 		m.OverdrawEpisodes.Inc()
 	}
 }
 
+//flex:hotpath
 func (m *Metrics) incStaleSkip() {
 	if m != nil {
 		m.StaleSkips.Inc()
 	}
 }
 
+//flex:hotpath
 func (m *Metrics) incPlanError() {
 	if m != nil {
 		m.PlanErrors.Inc()
 	}
 }
 
+//flex:hotpath
 func (m *Metrics) incPlanAbort() {
 	if m != nil {
 		m.PlanAborts.Inc()
 	}
 }
 
+//flex:hotpath
 func (m *Metrics) observeFirstAction(d time.Duration) {
 	if m != nil {
 		m.FirstActionLatency.ObserveDuration(d)
 	}
 }
 
+//flex:hotpath
 func (m *Metrics) observeShed(d time.Duration) {
 	if m != nil {
 		m.ShedLatency.ObserveDuration(d)

@@ -94,6 +94,7 @@ type PlanInput struct {
 // should prefer PlanContext so a planning pass cannot eat into the
 // 10-second shed budget.
 func Plan(in PlanInput) (actions []PlannedAction, insufficient bool, err error) {
+	//flexlint:ignore ctxflow deprecated ctx-less shorthand; live callers use PlanContext
 	return PlanContext(context.Background(), in)
 }
 

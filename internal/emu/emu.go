@@ -160,8 +160,9 @@ type rackSim struct {
 	rampUntil time.Duration
 }
 
-// Run executes the emulation.
-func Run(cfg Config) (*Result, error) {
+// Run executes the emulation. ctx bounds the offline placement solve and
+// is threaded to the controller's planning passes.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
 	room := placement.EmulationRoom()
 	topo := room.Topo
@@ -179,7 +180,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Obs != nil {
 		solverMetrics = milp.NewMetrics(cfg.Obs)
 	}
-	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150, SolverMetrics: solverMetrics}.Place(context.Background(), room, trace)
+	pl, err := placement.FlexOffline{BatchFraction: 0.33, MaxNodes: 150, SolverMetrics: solverMetrics}.Place(ctx, room, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +498,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		// Controllers evaluate.
 		for ci, c := range ctls {
-			out := c.Step()
+			out := c.StepContext(ctx)
 			if cfg.Debug && (out.Enforced > 0 || out.Restored > 0 || out.Insufficient) {
 				kinds := map[string]int{}
 				for _, a := range out.Planned {

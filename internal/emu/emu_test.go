@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -25,7 +26,7 @@ func runShort(t *testing.T, mutate func(*Config)) *Result {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

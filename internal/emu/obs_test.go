@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func findSnapshot(t *testing.T, reg *obs.Registry, name string) obs.Snapshot {
 func TestEmulationShedLatencyWithinBudget(t *testing.T) {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(64)
-	res, err := Run(quickObsConfig(reg, tracer))
+	res, err := Run(context.Background(), quickObsConfig(reg, tracer))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestEmulationShedLatencyWithinBudget(t *testing.T) {
 // TestEmulationMetricsDisabledByDefault keeps the nil-Metrics path honest:
 // a run without a registry must behave identically and not panic.
 func TestEmulationMetricsDisabledByDefault(t *testing.T) {
-	res, err := Run(quickObsConfig(nil, nil))
+	res, err := Run(context.Background(), quickObsConfig(nil, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -194,15 +194,6 @@ const (
 	detRoundSize = 16
 )
 
-// Solve runs branch and bound without external cancellation. It is
-// exactly SolveContext(context.Background(), p, opts).
-//
-// Deprecated: use SolveContext, which adds cancellation and deadlines via
-// context.Context.
-func Solve(p *Problem, opts Options) (Result, error) {
-	return SolveContext(context.Background(), p, opts)
-}
-
 // SolveContext runs branch and bound until the frontier is exhausted, a
 // limit (context deadline, TimeLimit, MaxNodes, RelGap) is reached, or ctx
 // is canceled. The search explores nodes best-bound-first, branching on the

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,13 @@ import (
 
 	"flex/internal/lp"
 )
+
+// Solve is the ctx-less shorthand these tests use. Production code calls
+// SolveContext with the caller's budget; the Background wrapper lives here
+// so ctxflow keeps it out of the library surface.
+func Solve(p *Problem, opts Options) (Result, error) {
+	return SolveContext(context.Background(), p, opts)
+}
 
 func binaryProblem(maximize bool, obj []float64) *Problem {
 	n := len(obj)

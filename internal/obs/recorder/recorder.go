@@ -48,6 +48,8 @@ func New(capacity int) *Recorder {
 // thread it as the Cause of downstream events. Emit on a nil recorder
 // returns 0, so call sites need no nil guards beyond `rec != nil` when
 // they want to skip building the event at all.
+//
+//flex:hotpath
 func (r *Recorder) Emit(e Event) uint64 {
 	if r == nil {
 		return 0

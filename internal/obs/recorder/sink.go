@@ -40,6 +40,8 @@ func NewSink(w io.Writer) *Sink {
 
 // write appends one record. After the first error every write is a no-op
 // returning that error.
+//
+//flex:coldpath
 func (s *Sink) write(e Event) error {
 	if s.err != nil {
 		return s.err

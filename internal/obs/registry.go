@@ -55,9 +55,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//flex:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//flex:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -69,9 +73,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//flex:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds d (atomically, via compare-and-swap).
+//
+//flex:hotpath
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -98,6 +106,8 @@ type Histogram struct {
 }
 
 // Observe records v.
+//
+//flex:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {
@@ -115,6 +125,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveDuration records d in seconds (the Prometheus base unit).
+//
+//flex:hotpath
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Count returns the number of observations.

@@ -166,8 +166,10 @@ type upsReading struct {
 
 // Replay re-drives every recorded planning pass and diffs the decisions.
 // Events must be in sequence order (as returned by recorder.ReadEvents or
-// Recorder.Snapshot) and must start with the meta header.
-func Replay(events []recorder.Event) (*Report, error) {
+// Recorder.Snapshot) and must start with the meta header. ctx bounds the
+// re-run planning passes exactly as it would bound live ones; replaying a
+// long log is interruptible at every plan.
+func Replay(ctx context.Context, events []recorder.Event) (*Report, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("replay: empty event log")
 	}
@@ -258,7 +260,7 @@ func Replay(events []recorder.Event) (*Report, error) {
 				delete(set, e.Subject)
 			}
 		case recorder.TypePlanStart:
-			pr := replayPlan(events[i:], e, topo, racks, scenario, buffer, threshold, hdr.RackEstimator, upsView, rackView, estView, acted[e.Actor])
+			pr := replayPlan(ctx, events[i:], e, topo, racks, scenario, buffer, threshold, hdr.RackEstimator, upsView, rackView, estView, acted[e.Actor])
 			rep.Plans = append(rep.Plans, pr)
 			if pr.Match {
 				rep.Matched++
@@ -277,7 +279,7 @@ func Replay(events []recorder.Event) (*Report, error) {
 // outcome against the recorded action-planned events. tail begins at the
 // plan-start event; the recorded actions and terminal (commit/abort/
 // error) are found by scanning forward for events caused by it.
-func replayPlan(tail []recorder.Event, start *recorder.Event,
+func replayPlan(ctx context.Context, tail []recorder.Event, start *recorder.Event,
 	topo *power.Topology, racks []controller.ManagedRack, scenario impact.Scenario,
 	buffer power.Watts, threshold float64, useEstimator bool,
 	upsView map[string]upsReading, rackView, estView map[string]power.Watts,
@@ -337,7 +339,7 @@ func replayPlan(tail []recorder.Event, start *recorder.Event,
 	for k := range actedSet {
 		actedCopy[k] = true
 	}
-	replayed, insufficient, err := controller.PlanContext(context.Background(), controller.PlanInput{
+	replayed, insufficient, err := controller.PlanContext(ctx, controller.PlanInput{
 		Topo:      topo,
 		Racks:     racks,
 		UPSPower:  ups,

@@ -2,6 +2,7 @@ package replay_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -18,7 +19,7 @@ func recordShortEpisode(t *testing.T) []recorder.Event {
 	rec := recorder.New(1 << 18)
 	var buf bytes.Buffer
 	rec.AttachSink(recorder.NewSink(&buf))
-	_, err := emu.Run(emu.Config{
+	_, err := emu.Run(context.Background(), emu.Config{
 		Tick:      time.Second,
 		FailAt:    4 * time.Minute,
 		RecoverAt: 7 * time.Minute,
@@ -62,7 +63,7 @@ func TestReplayEmulationEmptyDiff(t *testing.T) {
 	}
 	events := recordShortEpisode(t)
 
-	rep, err := replay.Replay(events)
+	rep, err := replay.Replay(context.Background(), events)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +136,10 @@ func TestReplayEpisodeChain(t *testing.T) {
 
 func TestReplayRejectsHeaderlessLog(t *testing.T) {
 	events := []recorder.Event{{Seq: 1, Type: recorder.TypePlanStart}}
-	if _, err := replay.Replay(events); err == nil {
+	if _, err := replay.Replay(context.Background(), events); err == nil {
 		t.Fatal("headerless log accepted")
 	}
-	if _, err := replay.Replay(nil); err == nil {
+	if _, err := replay.Replay(context.Background(), nil); err == nil {
 		t.Fatal("empty log accepted")
 	}
 }

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -52,7 +53,7 @@ func TestWriteFigure12(t *testing.T) {
 
 func TestWriteFigure13(t *testing.T) {
 	sc := impact.Realistic1()
-	res, err := emu.Run(emu.Config{
+	res, err := emu.Run(context.Background(), emu.Config{
 		Scenario:  &sc,
 		Tick:      2 * time.Second,
 		FailAt:    2 * time.Minute,

@@ -113,16 +113,23 @@ func (b *Broker) unsubscribe(topic string, sub *Subscription) {
 // subscriber's buffer is full the oldest sample is dropped. Publishing on
 // a downed broker is a silent no-op (that is the failure the duplicated
 // broker masks).
+//
+// The fan-out runs with b.mu held, iterating the subscriber list in
+// place: every send and drop-recv is non-blocking (drop-oldest), so the
+// critical section is bounded and Publish allocates nothing — it sits on
+// the poller hot path, once per device per poll. Subscription locks nest
+// under the broker lock (b.mu -> sub.mu); nothing acquires them in the
+// reverse order.
+//
+//flex:hotpath
 func (b *Broker) Publish(topic string, s Sample) {
 	b.mu.Lock()
 	if b.down {
 		b.mu.Unlock()
 		return
 	}
-	subs := append([]*Subscription(nil), b.topics[topic]...)
-	b.mu.Unlock()
 	dropped := 0
-	for _, sub := range subs {
+	for _, sub := range b.topics[topic] {
 		sub.mu.Lock()
 		if sub.closed {
 			sub.mu.Unlock()
@@ -147,9 +154,9 @@ func (b *Broker) Publish(topic string, s Sample) {
 		}
 		sub.mu.Unlock()
 	}
-	// One aggregated drop event per publish, emitted after every
-	// subscriber lock is released (eventcheck: no emission under a held
-	// mutex).
+	b.mu.Unlock()
+	// One aggregated drop event per publish, emitted after every lock is
+	// released (eventcheck: no emission under a held mutex).
 	if dropped > 0 && b.Recorder != nil {
 		b.Recorder.Emit(recorder.Event{
 			Type:    recorder.TypeSampleDrop,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"flex/internal/clock"
+	"flex/internal/obs"
 	"flex/internal/power"
 )
 
@@ -169,6 +170,25 @@ func TestBrokerFanoutAndDropOldest(t *testing.T) {
 	sub.Close()
 	// Publishing after close must not panic.
 	b.Publish("t", Sample{Device: "d"})
+}
+
+func TestPublishZeroAllocations(t *testing.T) {
+	b := NewBroker("A")
+	b.Metrics = NewMetrics(obs.NewRegistry())
+	sub := b.Subscribe("t", 2)
+	defer sub.Close()
+	s := Sample{Device: "d", Valid: true}
+	// The buffer fills after two publishes; from then on every publish
+	// exercises the drop-oldest path too. Publish must allocate nothing
+	// either way — it runs once per device per poll on the poller hot
+	// path (enforced statically by flexlint's allocfree analyzer).
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Seq++
+		b.Publish("t", s)
+	})
+	if allocs != 0 {
+		t.Fatalf("Publish allocated %.1f times per call, want 0", allocs)
+	}
 }
 
 func TestBrokerDown(t *testing.T) {
