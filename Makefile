@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race cover bench bench-solver figures fuzz examples replay-smoke ci clean
+.PHONY: all build vet lint lint-json test race cover bench bench-solver bench-obs figures fuzz examples replay-smoke slo-smoke ci clean
 
 all: build vet lint test
 
@@ -37,10 +37,19 @@ replay-smoke:
 	$(GO) run ./cmd/flexsim -experiment episode -record /tmp/flex-episode.jsonl
 	$(GO) run ./cmd/flexreplay -min-plans 1 /tmp/flex-episode.jsonl
 
+# Runs a compressed UPS-failure episode with the continuous safety
+# auditor attached and asserts the SLO story end to end: health goes
+# ready→degraded→ready (never unsafe), the shed budget burns and
+# recovers, and every steady-state what-if probe round is clean.
+# flexsim exits non-zero if any of that fails.
+slo-smoke:
+	$(GO) run ./cmd/flexsim -experiment episode -slo
+
 # What CI runs (.github/workflows/ci.yml): the full gate plus a race pass
-# over the concurrent packages, a flexmon smoke run with the
-# observability surface enabled, and the record→replay determinism check.
-ci: build vet lint test replay-smoke
+# over the concurrent packages (./internal/obs/... covers obs/tsdb and
+# obs/slo), a flexmon smoke run with the observability surface enabled,
+# the record→replay determinism check, and the SLO smoke episode.
+ci: build vet lint test replay-smoke slo-smoke
 	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/obs/... ./internal/replay/... ./internal/milp/... ./internal/lp/...
 	$(GO) run ./cmd/flexmon -quick -metrics -listen 127.0.0.1:0
 
@@ -63,6 +72,14 @@ bench:
 bench-solver:
 	$(GO) test -run '^$$' -bench BenchmarkSolverScaling -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_solver.json
 	@echo wrote BENCH_solver.json
+
+# Records the observability hot-path baseline: tsdb append/seal/query and
+# SLO audit-tick/probe benchmarks across both packages (benchjson tags
+# each record with its package). The Append rows must stay at
+# 0 allocs/op — the sampler runs on the emulation tick.
+bench-obs:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x ./internal/obs/tsdb/ ./internal/obs/slo/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json
+	@echo wrote BENCH_obs.json
 
 # Regenerates every figure/result of the paper's evaluation.
 figures:

@@ -30,6 +30,12 @@ type Baseline struct {
 type Record struct {
 	// Name is the benchmark name including the -P GOMAXPROCS suffix.
 	Name string `json:"name"`
+	// Pkg is the import path of the package section the record appeared
+	// under (the most recent "pkg:" header line). Multi-package runs like
+	// `go test -bench . ./internal/obs/...` emit one header block per
+	// package; without per-record attribution the records would be
+	// indistinguishable across packages in the JSON.
+	Pkg string `json:"pkg,omitempty"`
 	// Iterations is b.N for the recorded run.
 	Iterations int64 `json:"iterations"`
 	// Metrics maps unit → value (ns/op, B/op, allocs/op, custom units).
@@ -94,15 +100,20 @@ func parse(r io.Reader) (*Baseline, error) {
 	b := &Baseline{Env: map[string]string{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	pkg := ""
 	for sc.Scan() {
 		line := sc.Text()
 		if rec, ok := parseResultLine(line); ok {
+			rec.Pkg = pkg
 			b.Benchmarks = append(b.Benchmarks, rec)
 			continue
 		}
 		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
 			if v, ok := strings.CutPrefix(line, key+": "); ok {
 				b.Env[key] = v
+				if key == "pkg" {
+					pkg = v
+				}
 			}
 		}
 	}
@@ -200,14 +211,52 @@ func restoreText(path string, w io.Writer) error {
 	if err := json.Unmarshal(data, &b); err != nil {
 		return err
 	}
-	for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+	// Legacy single-package baselines carry no per-record Pkg; restore the
+	// original single header block.
+	multi := false
+	for _, rec := range b.Benchmarks {
+		if rec.Pkg != "" {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := b.Env[key]; ok {
+				if _, err := fmt.Fprintf(w, "%s: %s\n", key, v); err != nil {
+					return err
+				}
+			}
+		}
+		for _, rec := range b.Benchmarks {
+			if _, err := fmt.Fprintln(w, rec.Raw); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Multi-package baselines: goos/goarch once, then a pkg/cpu header per
+	// package section, matching `go test -bench` output across packages.
+	for _, key := range []string{"goos", "goarch"} {
 		if v, ok := b.Env[key]; ok {
 			if _, err := fmt.Fprintf(w, "%s: %s\n", key, v); err != nil {
 				return err
 			}
 		}
 	}
+	cur := ""
 	for _, rec := range b.Benchmarks {
+		if rec.Pkg != cur {
+			cur = rec.Pkg
+			if _, err := fmt.Fprintf(w, "pkg: %s\n", cur); err != nil {
+				return err
+			}
+			if v, ok := b.Env["cpu"]; ok {
+				if _, err := fmt.Fprintf(w, "cpu: %s\n", v); err != nil {
+					return err
+				}
+			}
+		}
 		if _, err := fmt.Fprintln(w, rec.Raw); err != nil {
 			return err
 		}

@@ -83,6 +83,73 @@ func TestParseIgnoresMalformedLines(t *testing.T) {
 	}
 }
 
+const multiPkgSample = `goos: linux
+goarch: amd64
+pkg: flex/internal/obs/tsdb
+cpu: Intel(R) Xeon(R)
+BenchmarkAppend-8          	30000000	        39.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkQueryRaw-8        	  500000	      2100 ns/op
+PASS
+ok  	flex/internal/obs/tsdb	1.234s
+goos: linux
+goarch: amd64
+pkg: flex/internal/obs/slo
+cpu: Intel(R) Xeon(R)
+BenchmarkAuditTick-8       	  100000	     10500 ns/op
+PASS
+ok  	flex/internal/obs/slo	2.345s
+`
+
+// TestParseMultiPackage feeds output from a multi-package `go test -bench`
+// run (one header block per package): each record must be attributed to the
+// package section it appeared under, and -restore must re-emit one pkg
+// header per section so benchstat sees distinct packages.
+func TestParseMultiPackage(t *testing.T) {
+	b, err := parse(strings.NewReader(multiPkgSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(b.Benchmarks))
+	}
+	wantPkg := []string{
+		"flex/internal/obs/tsdb",
+		"flex/internal/obs/tsdb",
+		"flex/internal/obs/slo",
+	}
+	for i, rec := range b.Benchmarks {
+		if rec.Pkg != wantPkg[i] {
+			t.Errorf("record %d (%s): pkg %q, want %q", i, rec.Name, rec.Pkg, wantPkg[i])
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "multi.json")
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := restoreText(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if n := strings.Count(got, "pkg: "); n != 2 {
+		t.Errorf("restored text has %d pkg headers, want 2:\n%s", n, got)
+	}
+	tsdbIdx := strings.Index(got, "pkg: flex/internal/obs/tsdb")
+	sloIdx := strings.Index(got, "pkg: flex/internal/obs/slo")
+	tickIdx := strings.Index(got, "BenchmarkAuditTick")
+	if tsdbIdx < 0 || sloIdx < 0 || tickIdx < 0 {
+		t.Fatalf("restored text missing sections:\n%s", got)
+	}
+	if !(tsdbIdx < sloIdx && sloIdx < tickIdx) {
+		t.Errorf("restored sections out of order (tsdb@%d slo@%d tick@%d):\n%s", tsdbIdx, sloIdx, tickIdx, got)
+	}
+}
+
 const solverSample = `goos: linux
 pkg: flex
 BenchmarkSolverScaling/serial-8      	       1	   2363996 ns/op	      4231 nodes/s

@@ -7,11 +7,16 @@
 // Usage:
 //
 //	flexmon [-util F] [-scenario NAME] [-csv] [-quick] [-metrics] [-listen ADDR] [-record FILE]
+//	flexmon -watch [-url URL] [-every D] [-n N]
 //
 // With -listen the run exposes a live introspection surface (/metrics,
-// /debug/vars, /debug/pprof, /traces, /events) for the duration of the
-// emulation. With -record the whole run is captured as a replayable
-// flight-recorder event log (see flexreplay).
+// /debug/vars, /debug/pprof, /traces, /events) plus the continuous
+// safety auditor's endpoints (/query, /slo, /healthz) for the duration
+// of the emulation. With -record the whole run is captured as a
+// replayable flight-recorder event log (see flexreplay). -watch flips
+// flexmon into a client: it polls a running server's /healthz, /slo and
+// /events (incrementally, via since=<seq>) and prints a one-line safety
+// status per interval.
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 
 	"flex"
 	"flex/internal/obs"
+	"flex/internal/obs/slo"
+	"flex/internal/obs/tsdb"
 	"flex/internal/report"
 )
 
@@ -41,10 +48,17 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "compressed timeline (fail @4min, 10min total)")
 	seed := fs.Int64("seed", 1, "random seed")
 	metrics := fs.Bool("metrics", false, "print a metrics summary CSV after the run")
-	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof, /traces, /events on this address during the run (e.g. :8080)")
+	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof, /traces, /events, /query, /slo, /healthz on this address during the run (e.g. :8080)")
 	record := fs.String("record", "", "write the flight-recorder event log to this file (JSONL, replayable with flexreplay)")
+	watch := fs.Bool("watch", false, "watch mode: poll a running obs server (-url) and print a one-line safety status per interval instead of running an emulation")
+	watchURL := fs.String("url", "http://127.0.0.1:8080", "obs server base URL for -watch")
+	watchEvery := fs.Duration("every", 2*time.Second, "poll interval for -watch")
+	watchN := fs.Int("n", 0, "number of -watch polls (0 = until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watch {
+		return runWatch(out, *watchURL, *watchEvery, *watchN)
 	}
 
 	var sc flex.Scenario
@@ -83,16 +97,36 @@ func run(args []string, out io.Writer) error {
 	// A metric that exists before the emulation starts, so /metrics is
 	// never empty for an early scraper.
 	reg.Gauge("flex_up", "1 while the process is running").Set(1)
+	var aud *slo.Auditor
 	if *listen != "" {
-		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg, Tracer: tracer, Events: rec})
+		// The live surface includes the safety auditor: /query over the
+		// tsdb the sampler and auditor fill, /slo burn rates, /healthz —
+		// the endpoints `flexmon -watch` polls.
+		store := tsdb.NewStore(tsdb.Options{})
+		aud = slo.NewAuditor(slo.Config{
+			Store:    store,
+			Recorder: rec,
+			// Telemetry pumps run at 1.5s (UPS) / 2s (rack) cadence;
+			// freshness thresholds must sit above them.
+			UPSFreshness:  3 * time.Second,
+			RackFreshness: 4 * time.Second,
+		})
+		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{
+			Registry: reg,
+			Tracer:   tracer,
+			Events:   rec,
+			Query:    store.Handler(),
+			SLO:      aud.SLOHandler(),
+			Health:   aud.HealthHandler(),
+		})
 		if err != nil {
 			return err
 		}
 		defer stop()
-		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof /traces /events)\n", addr)
+		fmt.Fprintf(out, "obs: listening on http://%s (/metrics /debug/vars /debug/pprof /traces /events /query /slo /healthz)\n", addr)
 	}
 
-	cfg := flex.EmulationConfig{Utilization: *util, Scenario: &sc, Seed: *seed, Obs: reg, Tracer: tracer, Recorder: rec}
+	cfg := flex.EmulationConfig{Utilization: *util, Scenario: &sc, Seed: *seed, Obs: reg, Tracer: tracer, Recorder: rec, Safety: aud}
 	if *quick {
 		cfg.Tick = time.Second
 		cfg.FailAt = 4 * time.Minute

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestWatchAgainstLiveRun drives a quick emulation with -listen, then
+// points `flexmon -watch` at the live surface: every poll line must
+// carry a health verdict, objective and probe counts, and the
+// incremental event tail.
+func TestWatchAgainstLiveRun(t *testing.T) {
+	pr, pw := io.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		err := run([]string{"-quick", "-listen", "127.0.0.1:0"}, pw)
+		_ = pw.CloseWithError(err)
+		errCh <- err
+	}()
+
+	br := bufio.NewReader(pr)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const prefix = "obs: listening on http://"
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("first line %q, want prefix %q", line, prefix)
+	}
+	addr := strings.Fields(strings.TrimPrefix(strings.TrimSpace(line), prefix))[0]
+
+	var watchOut strings.Builder
+	if err := run([]string{"-watch", "-url", "http://" + addr, "-every", "10ms", "-n", "3"}, &watchOut); err != nil {
+		t.Fatalf("-watch: %v\n%s", err, watchOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(watchOut.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("watch printed %d lines, want 3:\n%s", len(lines), watchOut.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "objectives=") || !strings.Contains(l, "probe=") || !strings.Contains(l, "events+") {
+			t.Fatalf("watch line missing fields: %q", l)
+		}
+		state := strings.Fields(l)[0]
+		switch state {
+		case "ready", "degraded", "unsafe":
+		default:
+			t.Fatalf("watch line leads with %q, want a health state: %q", state, l)
+		}
+	}
+
+	// Drain the emulation and make sure it succeeded end to end.
+	if _, err := io.ReadAll(br); err != nil {
+		t.Fatalf("draining run output: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"flex"
 	"flex/internal/milp"
 	"flex/internal/obs"
+	"flex/internal/obs/slo"
+	"flex/internal/obs/tsdb"
 	"flex/internal/report"
 )
 
@@ -44,6 +46,7 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csvdir", "", "also write results as CSV files into this directory")
 	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run (e.g. :8080)")
 	record := fs.String("record", "", "write the flight-recorder event log to this file (JSONL)")
+	withSLO := fs.Bool("slo", false, "episode experiment: run the continuous safety auditor, print an SLO summary, and fail unless /healthz flips healthy→degraded→healthy with a probe-fail-free steady state (the slo-smoke gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,8 +75,24 @@ func run(args []string, out io.Writer) error {
 
 	reg := obs.NewRegistry()
 	reg.Gauge("flex_up", "1 while the process is running").Set(1)
+	var aud *slo.Auditor
+	srvCfg := obs.ServerConfig{Registry: reg, Events: rec}
+	if *withSLO {
+		store := tsdb.NewStore(tsdb.Options{})
+		aud = slo.NewAuditor(slo.Config{
+			Store:    store,
+			Recorder: rec,
+			// The emulator pumps UPS telemetry every 1.5s and rack
+			// telemetry every 2s; thresholds must sit above the cadence.
+			UPSFreshness:  3 * time.Second,
+			RackFreshness: 4 * time.Second,
+		})
+		srvCfg.Query = store.Handler()
+		srvCfg.SLO = aud.SLOHandler()
+		srvCfg.Health = aud.HealthHandler()
+	}
 	if *listen != "" {
-		addr, stop, err := obs.StartServer(*listen, obs.ServerConfig{Registry: reg, Events: rec})
+		addr, stop, err := obs.StartServer(*listen, srvCfg)
 		if err != nil {
 			return err
 		}
@@ -85,7 +104,7 @@ func run(args []string, out io.Writer) error {
 	case "fig12":
 		return runFigure12(out, *seed, *samples, *workers, *csvDir, milp.NewMetrics(reg), rec)
 	case "episode":
-		return runEpisode(out, *seed, rec)
+		return runEpisode(out, *seed, rec, reg, aud)
 	case "feasibility":
 		return runFeasibility(out)
 	case "montecarlo":
@@ -103,15 +122,20 @@ func run(args []string, out io.Writer) error {
 // failure at 4 minutes, recovery at 7 — so a complete, replayable
 // overdraw episode is captured in a few hundred milliseconds of wall
 // time on the virtual clock.
-func runEpisode(out io.Writer, seed int64, rec *flex.FlightRecorder) error {
-	res, err := flex.RunEmulation(flex.EmulationConfig{
+func runEpisode(out io.Writer, seed int64, rec *flex.FlightRecorder, reg *obs.Registry, aud *slo.Auditor) error {
+	cfg := flex.EmulationConfig{
 		Tick:      time.Second,
 		FailAt:    4 * time.Minute,
 		RecoverAt: 7 * time.Minute,
 		Duration:  10 * time.Minute,
 		Seed:      seed,
 		Recorder:  rec,
-	})
+	}
+	if aud != nil {
+		cfg.Obs = reg // the tsdb sampler scrapes the registry each tick
+		cfg.Safety = aud
+	}
+	res, err := flex.RunEmulation(cfg)
 	if err != nil {
 		return err
 	}
@@ -121,6 +145,48 @@ func runEpisode(out io.Writer, seed int64, rec *flex.FlightRecorder) error {
 		res.SRShutdownFrac*100, res.CapThrottledFrac*100, res.Outage, res.RestoredAll)
 	if rec != nil && rec.Overwritten() > 0 {
 		return fmt.Errorf("flight-recorder ring overwrote %d events; recording is not replayable", rec.Overwritten())
+	}
+	if aud == nil {
+		return nil
+	}
+	fmt.Fprintln(out)
+	if err := report.WriteSLOSummary(out, aud.Status(), aud.Transitions()); err != nil {
+		return err
+	}
+	return assertSLOSmoke(aud)
+}
+
+// assertSLOSmoke is the `make slo-smoke` gate: the audited episode must
+// flip /healthz healthy→degraded→healthy without ever going unsafe, and
+// the what-if probe must end in a probe-fail-free steady state.
+func assertSLOSmoke(aud *slo.Auditor) error {
+	var sawDegrade, sawRecover bool
+	for _, tr := range aud.Transitions() {
+		if tr.To == slo.StateUnsafe {
+			return fmt.Errorf("slo-smoke: health went unsafe at %v: %v", tr.Time, tr.Reasons)
+		}
+		if tr.From == slo.StateReady && tr.To == slo.StateDegraded {
+			sawDegrade = true
+		}
+		if sawDegrade && tr.From == slo.StateDegraded && tr.To == slo.StateReady {
+			sawRecover = true
+		}
+	}
+	if !sawDegrade || !sawRecover {
+		return fmt.Errorf("slo-smoke: /healthz never flipped healthy→degraded→healthy (transitions: %+v)", aud.Transitions())
+	}
+	if h := aud.Health(); h.State != slo.StateReady {
+		return fmt.Errorf("slo-smoke: final health %v (%v), want ready", h.State, h.Reasons)
+	}
+	st := aud.Status()
+	if st.Probe.Rounds == 0 {
+		return fmt.Errorf("slo-smoke: what-if probe never ran")
+	}
+	if st.Probe.Failures != 0 {
+		return fmt.Errorf("slo-smoke: %d probe failures (infeasible: %v)", st.Probe.Failures, st.Probe.Infeasible)
+	}
+	if st.Probe.CleanRounds == 0 {
+		return fmt.Errorf("slo-smoke: no probe-fail-free steady state at end of run")
 	}
 	return nil
 }

@@ -538,6 +538,32 @@ func (c *Controller) Run(ctx context.Context) {
 	}
 }
 
+// OpenEpisode reports the controller's open overdraw episode: the
+// flight-recorder episode ID (0 when unrecorded), when the overdraw was
+// first observed, and whether an episode is open at all. The SLO
+// auditor reads this to attribute shed-budget burn to the episode its
+// breach events must join.
+func (c *Controller) OpenEpisode() (id uint64, since time.Time, open bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.episode, c.overdrawSince, !c.overdrawSince.IsZero()
+}
+
+// CommittedActions returns a copy of the actions this controller has
+// enforced and not yet restored, plus the time of the last enforcement.
+// The auditor uses the recovered watts to compute per-UPS headroom under
+// the committed plan while telemetry still predates the enforcement.
+func (c *Controller) CommittedActions() ([]PlannedAction, time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PlannedAction, 0, len(c.acted))
+	for _, a := range c.acted {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rack < out[j].Rack })
+	return out, c.lastEnforceAt
+}
+
 // ActedRacks returns the racks this controller has acted on and not yet
 // restored.
 func (c *Controller) ActedRacks() []string {

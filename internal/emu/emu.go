@@ -20,6 +20,8 @@ import (
 	"flex/internal/milp"
 	"flex/internal/obs"
 	"flex/internal/obs/recorder"
+	"flex/internal/obs/slo"
+	"flex/internal/obs/tsdb"
 	"flex/internal/placement"
 	"flex/internal/power"
 	"flex/internal/rackmgr"
@@ -68,6 +70,13 @@ type Config struct {
 	// consensus, planning and actuation event — a log cmd/flexreplay can
 	// re-drive deterministically.
 	Recorder *recorder.Recorder
+	// Safety, when non-nil, is the continuous safety auditor: Run binds
+	// it to the emulated control plane (topology, telemetry views,
+	// controllers) and drives one audit tick per emulation tick on the
+	// virtual clock, after telemetry pumps and controller steps. When
+	// Obs is also set, a tsdb sampler scrapes the registry into the
+	// auditor's store on the same cadence.
+	Safety *slo.Auditor
 	// Debug prints controller decisions to stdout.
 	Debug bool
 }
@@ -324,6 +333,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		})
 	}
 
+	// Safety auditor: bound to the same views, controllers and planning
+	// inputs the live control plane runs with, ticked synchronously on
+	// the virtual clock.
+	var sampler *tsdb.Sampler
+	if cfg.Safety != nil {
+		cfg.Safety.Bind(slo.Bindings{
+			Clock:            clk,
+			Topo:             topo,
+			Racks:            managed,
+			UPSView:          upsView,
+			RackView:         rackView,
+			Controllers:      ctls,
+			Scenario:         *cfg.Scenario,
+			Buffer:           controller.DefaultBuffer(topo),
+			AllocatablePower: room.AllocatablePower(),
+		})
+		if cfg.Obs != nil {
+			sampler = &tsdb.Sampler{Registry: cfg.Obs, Store: cfg.Safety.Store(), Clock: clk}
+		}
+	}
+
 	// The episode log leads with its replay header: everything the event
 	// stream cannot carry (room, scenario, managed racks) pinned up front
 	// so cmd/flexreplay can rebuild the controllers' exact PlanInputs.
@@ -513,6 +543,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			if out.Insufficient {
 				res.Insufficient = true
 			}
+		}
+
+		// Audit tick: the safety auditor sees the post-step world — the
+		// same ordering a wall-clock deployment converges to, with the
+		// monitoring loop sampling at least as often as the control loop.
+		if cfg.Safety != nil {
+			if sampler != nil {
+				sampler.Tick(wall)
+			}
+			cfg.Safety.Tick(ctx, wall)
 		}
 
 		// Count action extents.

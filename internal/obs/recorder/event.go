@@ -112,6 +112,20 @@ const (
 	// TypeWatchdogAlert: the §VI background verification service found a
 	// broken actuation path. Subject=rack, Detail=reason.
 	TypeWatchdogAlert
+	// TypeSLOBreach: a safety SLO's burn rate crossed its alerting
+	// threshold. Subject=objective name, Actor="slo", Value=burn rate,
+	// Score=threshold, Episode=the open overdraw episode when the
+	// objective is episode-scoped (shed-budget), Detail=reason.
+	TypeSLOBreach
+	// TypeSLORecover: the objective's burn rate fell back under the
+	// threshold. Subject=objective name, Actor="slo", Value=burn rate,
+	// Cause=the matching slo-breach event, Episode mirrors the breach.
+	TypeSLORecover
+	// TypeProbeFail: the continuous what-if probe found a UPS whose
+	// hypothetical failure has no feasible shed plan inside the budget.
+	// Subject=UPS name, Actor="slo", Value=uncovered watts,
+	// Detail=reason ("insufficient" or the planner error).
+	TypeProbeFail
 
 	numTypes // sentinel; keep last
 )
@@ -140,6 +154,9 @@ var typeNames = [numTypes]string{
 	TypeActionAck:           "action-ack",
 	TypeActionFail:          "action-fail",
 	TypeWatchdogAlert:       "watchdog-alert",
+	TypeSLOBreach:           "slo-breach",
+	TypeSLORecover:          "slo-recover",
+	TypeProbeFail:           "probe-fail",
 }
 
 // String implements fmt.Stringer.

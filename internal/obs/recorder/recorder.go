@@ -3,6 +3,7 @@ package recorder
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultCapacity is the ring size used when New is given capacity <= 0.
@@ -155,6 +156,10 @@ type Filter struct {
 	Actor, Subject string
 	// MinSeq/MaxSeq bound the sequence range (inclusive; 0 = open).
 	MinSeq, MaxSeq uint64
+	// From/To bound the event timestamps (inclusive; zero = open). The
+	// incremental /events poll uses since=<seq> (MinSeq) or from=<time>
+	// so watch loops refetch only the new tail instead of the full ring.
+	From, To time.Time
 	// WithCauses additionally includes the transitive causal ancestors of
 	// every match — still retained in the window being queried — so an
 	// episode query returns the full chain from the triggering telemetry
@@ -182,6 +187,12 @@ func (f *Filter) match(e *Event) bool {
 		return false
 	}
 	if f.MaxSeq != 0 && e.Seq > f.MaxSeq {
+		return false
+	}
+	if !f.From.IsZero() && e.Time.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && e.Time.After(f.To) {
 		return false
 	}
 	return true

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"time"
 
 	"flex/internal/obs/recorder"
 )
@@ -20,6 +21,14 @@ type ServerConfig struct {
 	// Events is optional; without it /events serves an empty list. Join
 	// /traces entries to /events streams on the shared episode ID.
 	Events *recorder.Recorder
+	// Query, SLO and Health are optional plain handlers mounted at
+	// /query, /slo and /healthz. They are http.Handler (not concrete
+	// types) because their providers — tsdb.Store.Handler,
+	// slo.Auditor.SLOHandler / HealthHandler — live in packages that
+	// import obs; holding them concretely here would cycle.
+	Query  http.Handler
+	SLO    http.Handler
+	Health http.Handler
 }
 
 // NewHandler returns the live introspection surface:
@@ -27,11 +36,18 @@ type ServerConfig struct {
 //	/metrics       Prometheus text exposition of the registry
 //	/debug/vars    expvar-style JSON (cmdline, memstats, metrics)
 //	/debug/pprof/  the standard runtime profiles
-//	/traces        recent detect→plan→act traces as JSON
+//	/traces        recent detect→plan→act traces as JSON; filters:
+//	               since (min seq), from (RFC3339 or unix seconds),
+//	               episode, limit
 //	/events        flight-recorder events as JSON; filters: episode, type,
-//	               actor, subject, min_seq, max_seq, causes, limit.
+//	               actor, subject, min_seq, max_seq, since (alias for
+//	               min_seq+1, for "everything after what I saw"), from/to
+//	               (RFC3339 or unix seconds), causes, limit.
 //	               ?episode=N defaults to causes=1, returning the episode's
 //	               full causal chain (triggering samples included).
+//	/query         tsdb series queries (when ServerConfig.Query is wired)
+//	/slo           SLO burn rates and probe state (when SLO is wired)
+//	/healthz       ready/degraded/unsafe verdict (when Health is wired)
 //
 // Mount it behind an opt-in -listen flag; the handler itself performs no
 // authentication.
@@ -43,7 +59,17 @@ func NewHandler(cfg ServerConfig) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("flex obs endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /traces\n  /events\n"))
+		index := "flex obs endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /traces\n  /events\n"
+		if cfg.Query != nil {
+			index += "  /query\n"
+		}
+		if cfg.SLO != nil {
+			index += "  /slo\n"
+		}
+		if cfg.Health != nil {
+			index += "  /healthz\n"
+		}
+		_, _ = w.Write([]byte(index))
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -78,10 +104,24 @@ func NewHandler(cfg ServerConfig) http.Handler {
 			_, _ = w.Write([]byte("[]\n"))
 			return
 		}
-		if err := cfg.Tracer.WriteJSON(w); err != nil {
+		f, err := traceFilter(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := cfg.Tracer.WriteJSONFiltered(w, f); err != nil {
 			_, _ = w.Write([]byte("\n"))
 		}
 	})
+	if cfg.Query != nil {
+		mux.Handle("/query", cfg.Query)
+	}
+	if cfg.SLO != nil {
+		mux.Handle("/slo", cfg.SLO)
+	}
+	if cfg.Health != nil {
+		mux.Handle("/healthz", cfg.Health)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -129,6 +169,29 @@ func eventFilter(r *http.Request) (recorder.Filter, error) {
 	if err := parseUint("max_seq", &f.MaxSeq); err != nil {
 		return f, err
 	}
+	// since=<seq> means "everything after the last seq I saw" — the
+	// incremental-poll idiom; it translates to MinSeq = since+1.
+	var since uint64
+	if err := parseUint("since", &since); err != nil {
+		return f, err
+	}
+	if since != 0 {
+		f.MinSeq = since + 1
+	}
+	if s := q.Get("from"); s != "" {
+		t, err := parseQueryTime(s)
+		if err != nil {
+			return f, &badParamError{"from", s}
+		}
+		f.From = t
+	}
+	if s := q.Get("to"); s != "" {
+		t, err := parseQueryTime(s)
+		if err != nil {
+			return f, &badParamError{"to", s}
+		}
+		f.To = t
+	}
 	if s := q.Get("type"); s != "" {
 		typ, err := recorder.ParseType(s)
 		if err != nil {
@@ -156,6 +219,53 @@ func eventFilter(r *http.Request) (recorder.Filter, error) {
 		f.Limit = v
 	}
 	return f, nil
+}
+
+// traceFilter parses /traces query parameters into a TraceFilter.
+func traceFilter(r *http.Request) (TraceFilter, error) {
+	var f TraceFilter
+	q := r.URL.Query()
+	if s := q.Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return f, &badParamError{"since", s}
+		}
+		f.MinSeq = v + 1
+	}
+	if s := q.Get("from"); s != "" {
+		t, err := parseQueryTime(s)
+		if err != nil {
+			return f, &badParamError{"from", s}
+		}
+		f.From = t
+	}
+	if s := q.Get("episode"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return f, &badParamError{"episode", s}
+		}
+		f.Episode = v
+	}
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return f, &badParamError{"limit", s}
+		}
+		f.Limit = v
+	}
+	return f, nil
+}
+
+// parseQueryTime accepts RFC3339 or integer unix seconds, matching the
+// tsdb /query time syntax.
+func parseQueryTime(s string) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	return time.Time{}, &badParamError{"time", s}
 }
 
 type badParamError struct{ key, val string }

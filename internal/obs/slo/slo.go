@@ -1,0 +1,645 @@
+// Package slo is Flex's continuous safety auditor: it turns the paper's
+// operating invariants into burn-rate SLOs evaluated against live
+// telemetry, so "would this room survive a UPS failure right now?" is a
+// monitored quantity with alerting semantics, not a post-hoc replay
+// question.
+//
+// Each audit tick derives the safety quantities the invariants are
+// stated over — per-UPS headroom under the committed plan, room stranded
+// power (paper Eq. 5), the EWMA estimator's conservatism margin, and the
+// shed-latency budget burn of any open overdraw episode — stores them as
+// tsdb series, and evaluates four objectives:
+//
+//	shed-budget        open overdraw episodes must clear inside the 10s
+//	                   detect→act budget (power.FlexLatencyBudget)
+//	ups-freshness      the stalest UPS reading stays under the freshness
+//	                   threshold (paper §IV-D: ≤1.5s UPS telemetry)
+//	rack-freshness     likewise for rack readings (≤2s cadence)
+//	probe-feasibility  the continuous what-if probe: for every active
+//	                   UPS u, re-run Algorithm 1 against live telemetry
+//	                   assuming u just failed — a feasible shed plan must
+//	                   exist inside the planning budget
+//
+// Breaches and recoveries are emitted as flight-recorder events
+// (slo-breach / slo-recover / probe-fail) carrying the open episode ID,
+// so /events joins an SLO breach to the exact overdraw episode that
+// burned the budget. The package serves /slo and /healthz
+// (ready/degraded/unsafe with reasons) next to tsdb's /query on the obs
+// HTTP surface.
+//
+// The auditor runs at a faster timescale than the control loop it
+// audits (the VPP multi-timescale argument): Tick is the synchronous
+// core the emulator drives on the virtual clock every emulation tick,
+// and Run wraps it for wall-clock daemons. Everything is clock-injected
+// and the whole package is a cold path — only the tsdb appends
+// underneath are allocation-free.
+package slo
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/controller"
+	"flex/internal/impact"
+	"flex/internal/obs/recorder"
+	"flex/internal/obs/tsdb"
+	"flex/internal/power"
+	"flex/internal/telemetry"
+)
+
+// Derived-series names. Labeled series use the expvar/tsdb key
+// convention `name;label=value`.
+const (
+	SeriesUPSHeadroom    = "flex_safety_ups_headroom_watts"     // ;ups=<name>
+	SeriesStrandedPower  = "flex_safety_stranded_power_watts"   //
+	SeriesEstimatorSlack = "flex_safety_estimator_margin_watts" //
+	SeriesBudgetBurn     = "flex_safety_budget_burn_ratio"      //
+	SeriesTelemetryAge   = "flex_safety_telemetry_age_seconds"  // ;view=ups|rack
+	SeriesObjectiveBad   = "flex_slo_bad"                       // ;objective=<name>
+	SeriesProbeFeasible  = "flex_probe_feasible"                //
+	SeriesProbeLatency   = "flex_probe_latency_seconds"         //
+)
+
+// Objective names.
+const (
+	ObjShedBudget = "shed-budget"
+	ObjUPSFresh   = "ups-freshness"
+	ObjRackFresh  = "rack-freshness"
+	ObjProbe      = "probe-feasibility"
+)
+
+// Defaults.
+const (
+	// DefaultFreshness is the telemetry-freshness threshold: the paper
+	// targets sub-second sample propagation, but readings refresh at the
+	// poll cadence, so deployments with slower pollers must raise the
+	// per-view thresholds above their cadence to avoid constant burn.
+	DefaultFreshness = time.Second
+	// DefaultFastWindow / DefaultSlowWindow are the burn-rate windows.
+	DefaultFastWindow = time.Minute
+	DefaultSlowWindow = 5 * time.Minute
+	// DefaultTarget is the objective availability target: 99% of audit
+	// ticks healthy, i.e. a 1% error budget.
+	DefaultTarget = 0.99
+	// DefaultBreachBurn is the burn-rate multiple that trips a breach:
+	// burning the error budget at 1× means the budget exactly runs out
+	// over the window.
+	DefaultBreachBurn = 1.0
+	// DefaultProbeEvery is the what-if probe cadence. Probing is a full
+	// Algorithm 1 pass per active UPS, so it runs sparser than the audit
+	// tick.
+	DefaultProbeEvery = 5 * time.Second
+)
+
+// Config sizes an Auditor. Store is required; everything else defaults.
+type Config struct {
+	Store    *tsdb.Store
+	Recorder *recorder.Recorder // optional: breach/recover/probe-fail events
+	// UPSFreshness / RackFreshness override DefaultFreshness per view.
+	UPSFreshness, RackFreshness time.Duration
+	// FastWindow / SlowWindow are the burn-rate evaluation windows.
+	FastWindow, SlowWindow time.Duration
+	// Target is the per-objective availability target in (0, 1).
+	Target float64
+	// BreachBurn is the fast-window burn-rate multiple that trips a
+	// breach.
+	BreachBurn float64
+	// ProbeEvery is the what-if probe cadence (0 = DefaultProbeEvery,
+	// negative = disable probing).
+	ProbeEvery time.Duration
+	// ProbeBudget bounds one probe planning pass per UPS (default
+	// power.FlexLatencyBudget/2 — the same budget the live controller
+	// plans under, so probe feasibility implies live feasibility).
+	ProbeBudget time.Duration
+	// Interval paces Run (default tsdb.DefaultSampleInterval).
+	Interval time.Duration
+}
+
+// Bindings attaches the auditor to a running control plane. All fields
+// are required except Estimator and Controllers (without controllers the
+// shed-budget objective idles; without the estimator the margin series
+// is omitted).
+type Bindings struct {
+	Clock clock.Clock
+	Topo  *power.Topology
+	Racks []controller.ManagedRack
+	// UPSView / RackView are the same telemetry views the controllers
+	// read.
+	UPSView, RackView *telemetry.LatestPower
+	// Estimator, when non-nil, feeds the conservatism-margin series.
+	Estimator *telemetry.EWMAEstimator
+	// Controllers are the room's Flex-Online primaries; the auditor
+	// reads their open-episode state and committed plans.
+	Controllers []*controller.Controller
+	// Scenario and Buffer mirror the controllers' planning inputs; the
+	// probe plans with them.
+	Scenario impact.Scenario
+	Buffer   power.Watts
+	// AllocatablePower is the room's allocatable power (Eq. 5's minuend).
+	AllocatablePower power.Watts
+}
+
+// objective tracks one SLO's bad-indicator series and breach state.
+type objective struct {
+	name   string
+	series *tsdb.Series
+	// immediate objectives breach on the raw indicator (edge-triggered)
+	// instead of the windowed burn rate.
+	immediate bool
+
+	bad       bool
+	fastBurn  float64
+	slowBurn  float64
+	breached  bool
+	breachSeq uint64 // recorder seq of the open breach event
+	episode   uint64 // episode attributed to the open breach
+}
+
+// Auditor is the continuous safety auditor. Construct with NewAuditor,
+// attach to a control plane with Bind, then drive Tick (virtual clock)
+// or Run (wall clock). All methods are safe for concurrent use.
+type Auditor struct {
+	cfg Config
+
+	mu    sync.Mutex
+	b     Bindings
+	bound bool
+
+	objectives []*objective
+	byName     map[string]*objective
+
+	// pre-created derived series (cold-path get-or-create at Bind time).
+	stranded   *tsdb.Series
+	margin     *tsdb.Series
+	budgetBurn *tsdb.Series
+	upsAge     *tsdb.Series
+	rackAge    *tsdb.Series
+	headroom   []*tsdb.Series // per UPS, topo order
+	probeFeas  *tsdb.Series
+	probeLat   *tsdb.Series
+
+	// rack → pair mapping for committed-plan headroom attribution.
+	rackPair map[string]power.PDUPairID
+
+	lastEpisode uint64 // newest episode ID observed open
+	budgetRatio float64
+
+	lastProbe    time.Time
+	probeRounds  uint64
+	probeFails   uint64
+	cleanRounds  uint64 // consecutive probe-fail-free rounds
+	lastInfeas   []string
+	lastProbeDur time.Duration
+
+	health      State
+	healthSince time.Time
+	reasons     []string
+	transitions []Transition
+
+	ticks uint64
+}
+
+// NewAuditor constructs an auditor over st. Panics when cfg.Store is nil
+// (a programming error, like registering on a nil registry).
+func NewAuditor(cfg Config) *Auditor {
+	if cfg.Store == nil {
+		panic("slo: NewAuditor requires a Store")
+	}
+	if cfg.UPSFreshness <= 0 {
+		cfg.UPSFreshness = DefaultFreshness
+	}
+	if cfg.RackFreshness <= 0 {
+		cfg.RackFreshness = DefaultFreshness
+	}
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = DefaultFastWindow
+	}
+	if cfg.SlowWindow <= 0 {
+		cfg.SlowWindow = DefaultSlowWindow
+	}
+	if cfg.Target <= 0 || cfg.Target >= 1 {
+		cfg.Target = DefaultTarget
+	}
+	if cfg.BreachBurn <= 0 {
+		cfg.BreachBurn = DefaultBreachBurn
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	if cfg.ProbeBudget <= 0 {
+		cfg.ProbeBudget = power.FlexLatencyBudget / 2
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = tsdb.DefaultSampleInterval
+	}
+	a := &Auditor{
+		cfg:        cfg,
+		byName:     make(map[string]*objective),
+		health:     StateDegraded,
+		reasons:    []string{"auditor not bound to a control plane"},
+		stranded:   cfg.Store.Series(SeriesStrandedPower),
+		margin:     cfg.Store.Series(SeriesEstimatorSlack),
+		budgetBurn: cfg.Store.Series(SeriesBudgetBurn),
+		upsAge:     cfg.Store.Series(tsdb.SeriesKey(SeriesTelemetryAge, [2]string{"view", "ups"})),
+		rackAge:    cfg.Store.Series(tsdb.SeriesKey(SeriesTelemetryAge, [2]string{"view", "rack"})),
+		probeFeas:  cfg.Store.Series(SeriesProbeFeasible),
+		probeLat:   cfg.Store.Series(SeriesProbeLatency),
+	}
+	for _, o := range []struct {
+		name      string
+		immediate bool
+	}{
+		{ObjShedBudget, false},
+		{ObjUPSFresh, false},
+		{ObjRackFresh, false},
+		{ObjProbe, true},
+	} {
+		ob := &objective{
+			name:      o.name,
+			immediate: o.immediate,
+			series:    cfg.Store.Series(tsdb.SeriesKey(SeriesObjectiveBad, [2]string{"objective", o.name})),
+		}
+		a.objectives = append(a.objectives, ob)
+		a.byName[o.name] = ob
+	}
+	return a
+}
+
+// Bind attaches the auditor to a control plane. Call once at wiring
+// time, before ticking begins.
+func (a *Auditor) Bind(b Bindings) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b = b
+	a.bound = true
+	a.rackPair = make(map[string]power.PDUPairID, len(b.Racks))
+	for _, r := range b.Racks {
+		a.rackPair[r.ID] = r.Pair
+	}
+	a.headroom = a.headroom[:0]
+	for _, u := range b.Topo.UPSes {
+		a.headroom = append(a.headroom, a.cfg.Store.Series(
+			tsdb.SeriesKey(SeriesUPSHeadroom, [2]string{"ups", u.Name})))
+	}
+	var now time.Time
+	if b.Clock != nil {
+		now = b.Clock.Now()
+	}
+	a.setHealthLocked(now, StateReady, nil)
+}
+
+// Store returns the tsdb store the auditor writes its derived series
+// to, so callers can share it with a registry sampler and the /query
+// handler.
+func (a *Auditor) Store() *tsdb.Store { return a.cfg.Store }
+
+// Bound reports whether Bind has been called.
+func (a *Auditor) Bound() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bound
+}
+
+// Ticks reports how many audit ticks have run.
+func (a *Auditor) Ticks() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ticks
+}
+
+// Tick runs one audit round at time now: derive and store the safety
+// series, evaluate every objective's burn rate, run the what-if probe
+// when due, emit breach/recover/probe-fail events, and update /healthz.
+// ctx bounds the probe's planning passes.
+//
+// Tick is synchronous and deterministic under a virtual clock: the
+// emulator calls it once per emulation tick after pumping telemetry and
+// stepping the controllers.
+func (a *Auditor) Tick(ctx context.Context, now time.Time) {
+	a.mu.Lock()
+	if !a.bound {
+		a.setHealthLocked(now, StateDegraded, []string{"auditor not bound to a control plane"})
+		a.mu.Unlock()
+		return
+	}
+	a.ticks++
+	b := a.b
+
+	// ---- derived safety series -------------------------------------
+	upsPower := make([]power.Watts, len(b.Topo.UPSes))
+	var upsSeen int
+	for u := range b.Topo.UPSes {
+		if v, _, ok := b.UPSView.Get(b.Topo.UPSes[u].Name); ok {
+			upsPower[u] = v
+			upsSeen++
+		} else {
+			// Missing reading: assume full capacity (the controller's
+			// conservative convention) so derived headroom reads zero,
+			// not full.
+			upsPower[u] = b.Topo.UPSes[u].Capacity
+		}
+	}
+	pending := a.pendingRecoveryLocked()
+	for u := range b.Topo.UPSes {
+		head := b.Topo.UPSes[u].Capacity - upsPower[u] + pending[u]
+		a.headroom[u].Append(now, float64(head))
+	}
+
+	var allocated power.Watts
+	for _, r := range b.Racks {
+		allocated += r.Allocated
+	}
+	strand := b.AllocatablePower - allocated
+	if strand < 0 {
+		strand = 0
+	}
+	a.stranded.Append(now, float64(strand))
+
+	if b.Estimator != nil {
+		a.margin.Append(now, float64(b.Estimator.DeviationTotal()))
+	}
+
+	// Shed-budget burn: the fraction of the 10s detect→act budget the
+	// oldest open overdraw episode has consumed.
+	var burn float64
+	var openEpisode uint64
+	episodeOpen := false
+	for _, c := range b.Controllers {
+		if id, since, open := c.OpenEpisode(); open {
+			episodeOpen = true
+			if r := float64(now.Sub(since)) / float64(power.FlexLatencyBudget); r > burn {
+				burn = r
+			}
+			if id > openEpisode {
+				openEpisode = id
+			}
+		}
+	}
+	if openEpisode != 0 {
+		a.lastEpisode = openEpisode
+	}
+	a.budgetRatio = burn
+	a.budgetBurn.Append(now, burn)
+
+	upsOld, upsOK := b.UPSView.Oldest(now)
+	rackOld, rackOK := b.RackView.Oldest(now)
+	if upsOK {
+		a.upsAge.Append(now, upsOld.Seconds())
+	}
+	if rackOK {
+		a.rackAge.Append(now, rackOld.Seconds())
+	}
+
+	// ---- what-if probe ---------------------------------------------
+	var events []recorder.Event
+	probeDue := a.cfg.ProbeEvery > 0 &&
+		(a.lastProbe.IsZero() || !now.Before(a.lastProbe.Add(a.cfg.ProbeEvery)))
+	if probeDue {
+		a.lastProbe = now
+		inactive := controller.InferInactiveUPSes(b.Topo, upsPower, controller.DefaultInactiveThreshold)
+		if episodeOpen || len(inactive) > 0 || upsSeen == 0 {
+			// A real failure (or no telemetry yet) is in progress:
+			// probing would model a double failure the paper's design
+			// explicitly does not cover. Skip without touching the
+			// feasibility series — absence of data, not feasibility.
+		} else {
+			res := a.probeLocked(ctx, now, upsPower)
+			a.probeRounds++
+			a.lastProbeDur = res.elapsed
+			a.lastInfeas = res.infeasible
+			a.probeLat.Append(now, res.elapsed.Seconds())
+			if len(res.infeasible) == 0 {
+				a.cleanRounds++
+				a.probeFeas.Append(now, 1)
+			} else {
+				a.cleanRounds = 0
+				a.probeFails++
+				a.probeFeas.Append(now, 0)
+				events = append(events, res.events...)
+			}
+			a.byName[ObjProbe].bad = len(res.infeasible) > 0
+		}
+	}
+
+	// ---- objective evaluation --------------------------------------
+	a.byName[ObjShedBudget].bad = episodeOpen
+	a.byName[ObjUPSFresh].bad = upsOK && upsOld > a.cfg.UPSFreshness
+	a.byName[ObjRackFresh].bad = rackOK && rackOld > a.cfg.RackFreshness
+
+	budgetRate := 1 - a.cfg.Target
+	for _, o := range a.objectives {
+		v := 0.0
+		if o.bad {
+			v = 1
+		}
+		o.series.Append(now, v)
+		fastAvg, _ := o.series.WindowAvg(now.Add(-a.cfg.FastWindow), now)
+		slowAvg, _ := o.series.WindowAvg(now.Add(-a.cfg.SlowWindow), now)
+		o.fastBurn = fastAvg / budgetRate
+		o.slowBurn = slowAvg / budgetRate
+		tripped := o.fastBurn >= a.cfg.BreachBurn
+		if o.immediate {
+			tripped = o.bad
+		}
+		if tripped && !o.breached {
+			o.breached = true
+			o.episode = 0
+			if o.name == ObjShedBudget {
+				o.episode = a.lastEpisode
+			}
+			ev := recorder.Event{
+				Type:    recorder.TypeSLOBreach,
+				Time:    now,
+				Actor:   "slo",
+				Subject: o.name,
+				Value:   o.fastBurn,
+				Score:   a.cfg.BreachBurn,
+				Episode: o.episode,
+				Detail:  "fast-window burn over threshold",
+			}
+			if o.immediate {
+				ev.Value = 1
+				ev.Detail = "objective failing"
+			}
+			// The assigned seq is filled in after emission (below);
+			// remember the index so recover events can cite it.
+			events = append(events, ev)
+		} else if !tripped && o.breached {
+			o.breached = false
+			events = append(events, recorder.Event{
+				Type:    recorder.TypeSLORecover,
+				Time:    now,
+				Actor:   "slo",
+				Subject: o.name,
+				Value:   o.fastBurn,
+				Score:   a.cfg.BreachBurn,
+				Episode: o.episode,
+				Cause:   o.breachSeq,
+			})
+			o.breachSeq = 0
+			o.episode = 0
+		}
+	}
+
+	// ---- health ----------------------------------------------------
+	state, reasons := a.evalHealthLocked(episodeOpen)
+	a.setHealthLocked(now, state, reasons)
+	rec := a.cfg.Recorder
+	a.mu.Unlock()
+
+	// Emit outside the mutex (eventcheck), then bind breach seqs back so
+	// the matching recover can cite its breach as Cause.
+	if rec == nil {
+		return
+	}
+	for i := range events {
+		seq := rec.Emit(events[i])
+		if events[i].Type == recorder.TypeSLOBreach {
+			a.mu.Lock()
+			if o, ok := a.byName[events[i].Subject]; ok && o.breached && o.breachSeq == 0 {
+				o.breachSeq = seq
+			}
+			a.mu.Unlock()
+		}
+	}
+}
+
+// pendingRecoveryLocked computes, per UPS, the committed-but-not-yet-
+// measured recovery: actions the controllers enforced after the UPS
+// view's reading was taken, whose recovered watts the telemetry cannot
+// reflect yet. Half of each action's recovery attributes to each UPS of
+// the rack's pair (Eq. 2's split), matching applyRecovery in the
+// planner. Deduped by rack across multi-primary controllers (actions
+// are idempotent; counting a rack twice would overstate headroom).
+func (a *Auditor) pendingRecoveryLocked() []power.Watts {
+	b := a.b
+	out := make([]power.Watts, len(b.Topo.UPSes))
+	seen := make(map[string]bool)
+	for _, c := range b.Controllers {
+		actions, lastEnforce := c.CommittedActions()
+		if lastEnforce.IsZero() {
+			continue
+		}
+		for _, act := range actions {
+			if seen[act.Rack] {
+				continue
+			}
+			seen[act.Rack] = true
+			pair, ok := a.rackPair[act.Rack]
+			if !ok {
+				continue
+			}
+			p := b.Topo.Pairs[pair]
+			for _, uid := range p.UPSes {
+				// Only credit the recovery while the view's reading
+				// predates the enforcement; once a newer sample lands,
+				// the measurement itself reflects the shed power.
+				if _, at, ok := b.UPSView.Get(b.Topo.UPSes[uid].Name); ok && at.After(lastEnforce) {
+					continue
+				}
+				out[uid] += act.Recovered / 2
+			}
+		}
+	}
+	return out
+}
+
+// Objective is the exported snapshot of one SLO for /slo.
+type Objective struct {
+	Name     string  `json:"name"`
+	Target   float64 `json:"target"`
+	Bad      bool    `json:"bad"`
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	Breached bool    `json:"breached"`
+	// BreachSeq is the flight-recorder seq of the open breach event.
+	BreachSeq uint64 `json:"breach_seq,omitempty"`
+	// Episode is the overdraw episode attributed to the open breach.
+	Episode uint64 `json:"episode,omitempty"`
+}
+
+// Status is the exported /slo snapshot.
+type Status struct {
+	Objectives []Objective `json:"objectives"`
+	// EpisodeOpen / EpisodeID / BudgetBurn describe the open overdraw
+	// episode: BudgetBurn is the fraction of the 10s detect→act budget
+	// consumed so far.
+	EpisodeOpen bool    `json:"episode_open"`
+	EpisodeID   uint64  `json:"episode_id,omitempty"`
+	BudgetBurn  float64 `json:"budget_burn"`
+	Probe       Probe   `json:"probe"`
+	Health      Health  `json:"health"`
+	Ticks       uint64  `json:"ticks"`
+}
+
+// Probe is the exported what-if probe state.
+type Probe struct {
+	Rounds      uint64   `json:"rounds"`
+	Failures    uint64   `json:"failures"`
+	CleanRounds uint64   `json:"clean_rounds"`
+	Infeasible  []string `json:"infeasible,omitempty"`
+	// LastLatencySeconds is the wall (clock-injected) duration of the
+	// last probe round across all UPSes.
+	LastLatencySeconds float64 `json:"last_latency_seconds"`
+}
+
+// Status snapshots the auditor for /slo.
+func (a *Auditor) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := Status{
+		BudgetBurn: a.budgetRatio,
+		Probe: Probe{
+			Rounds:             a.probeRounds,
+			Failures:           a.probeFails,
+			CleanRounds:        a.cleanRounds,
+			Infeasible:         append([]string(nil), a.lastInfeas...),
+			LastLatencySeconds: a.lastProbeDur.Seconds(),
+		},
+		Health: a.healthLocked(),
+		Ticks:  a.ticks,
+	}
+	for _, o := range a.objectives {
+		st.Objectives = append(st.Objectives, Objective{
+			Name:      o.name,
+			Target:    a.cfg.Target,
+			Bad:       o.bad,
+			FastBurn:  o.fastBurn,
+			SlowBurn:  o.slowBurn,
+			Breached:  o.breached,
+			BreachSeq: o.breachSeq,
+			Episode:   o.episode,
+		})
+	}
+	sort.Slice(st.Objectives, func(i, j int) bool { return st.Objectives[i].Name < st.Objectives[j].Name })
+	if sb, ok := a.byName[ObjShedBudget]; ok {
+		st.EpisodeOpen = sb.bad
+		if sb.bad {
+			st.EpisodeID = a.lastEpisode
+		}
+	}
+	return st
+}
+
+// Run drives Tick on the configured cadence until ctx is done, pacing on
+// the bound clock (bind before Run). With a virtual clock prefer calling
+// Tick directly for determinism.
+func (a *Auditor) Run(ctx context.Context) {
+	a.mu.Lock()
+	clk := a.b.Clock
+	a.mu.Unlock()
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-clk.After(a.cfg.Interval):
+			a.Tick(ctx, now)
+		}
+	}
+}

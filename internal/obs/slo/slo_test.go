@@ -1,0 +1,595 @@
+package slo_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/controller"
+	"flex/internal/impact"
+	"flex/internal/obs/recorder"
+	"flex/internal/obs/slo"
+	"flex/internal/obs/tsdb"
+	"flex/internal/power"
+	"flex/internal/rackmgr"
+	"flex/internal/telemetry"
+	"flex/internal/workload"
+)
+
+// harness wires a 4N/3 test room, telemetry views, one controller
+// primary, and a bound auditor on a virtual clock.
+type harness struct {
+	topo     *power.Topology
+	racks    []controller.ManagedRack
+	upsView  *telemetry.LatestPower
+	rackView *telemetry.LatestPower
+	mgr      *rackmgr.Manager
+	clk      *clock.Virtual
+	now      time.Time
+	rec      *recorder.Recorder
+	ctl      *controller.Controller
+	aud      *slo.Auditor
+}
+
+// testRacks places one rack of each category on every pair: SR 10kW,
+// capable 10kW (flex 8kW), non-capable 10kW — the controller-test room.
+func testRacks(topo *power.Topology) []controller.ManagedRack {
+	var racks []controller.ManagedRack
+	for _, p := range topo.Pairs {
+		racks = append(racks,
+			controller.ManagedRack{ID: fmt.Sprintf("sr-%d", p.ID), Workload: "websearch",
+				Category: workload.SoftwareRedundant, Pair: p.ID,
+				Allocated: 10 * power.KW, FlexPower: 0},
+			controller.ManagedRack{ID: fmt.Sprintf("cap-%d", p.ID), Workload: "vmservice",
+				Category: workload.NonRedundantCapable, Pair: p.ID,
+				Allocated: 10 * power.KW, FlexPower: 8 * power.KW},
+			controller.ManagedRack{ID: fmt.Sprintf("nc-%d", p.ID), Workload: "gpucluster",
+				Category: workload.NonRedundantNonCapable, Pair: p.ID,
+				Allocated: 10 * power.KW, FlexPower: 10 * power.KW},
+		)
+	}
+	return racks
+}
+
+func newHarness(t *testing.T, cfg slo.Config) *harness {
+	t.Helper()
+	topo, err := power.NewRoom(power.RoomConfig{
+		Design:              power.Redundancy{X: 4, Y: 3},
+		UPSCapacity:         100 * power.KW,
+		PairsPerCombination: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	racks := testRacks(topo)
+	ids := make([]string, len(racks))
+	for i, r := range racks {
+		ids[i] = r.ID
+	}
+	clk := clock.NewVirtual(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	h := &harness{
+		topo:     topo,
+		racks:    racks,
+		upsView:  telemetry.NewLatestPower(),
+		rackView: telemetry.NewLatestPower(),
+		mgr:      rackmgr.NewManager(clk, ids),
+		clk:      clk,
+		now:      clk.Now(),
+		rec:      recorder.New(0),
+	}
+	h.ctl = controller.New(controller.Config{
+		Name:     "ctl-1",
+		Clock:    clk,
+		Topo:     topo,
+		Racks:    racks,
+		UPSView:  h.upsView,
+		RackView: h.rackView,
+		Actuator: h.mgr,
+		Scenario: impact.Realistic1(),
+		Buffer:   power.KW,
+		Recorder: h.rec,
+	})
+	if cfg.Store == nil {
+		cfg.Store = tsdb.NewStore(tsdb.Options{})
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = h.rec
+	}
+	h.aud = slo.NewAuditor(cfg)
+	h.aud.Bind(slo.Bindings{
+		Clock:            clk,
+		Topo:             topo,
+		Racks:            racks,
+		UPSView:          h.upsView,
+		RackView:         h.rackView,
+		Controllers:      []*controller.Controller{h.ctl},
+		Scenario:         impact.Realistic1(),
+		Buffer:           power.KW,
+		AllocatablePower: 300 * power.KW,
+	})
+	return h
+}
+
+// feed advances the virtual clock one second and publishes UPS and rack
+// power into the views, racks reporting per their manager state.
+func (h *harness) feed(ups []power.Watts) {
+	h.clk.Advance(time.Second)
+	h.now = h.clk.Now()
+	for u, w := range ups {
+		h.upsView.Update(telemetry.Sample{
+			Device: h.topo.UPSes[u].Name, Power: w, Valid: true, MeasuredAt: h.now,
+		})
+	}
+	for _, r := range h.racks {
+		st, cap, _ := h.mgr.State(r.ID)
+		p := r.Allocated
+		switch st {
+		case rackmgr.Off:
+			p = 0
+		case rackmgr.Throttled:
+			p = cap
+		}
+		h.rackView.Update(telemetry.Sample{
+			Device: r.ID, Power: p, Valid: true, MeasuredAt: h.now,
+		})
+	}
+}
+
+var (
+	normalPower   = []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW}
+	overdrawPower = []power.Watts{0, 107 * power.KW, 106 * power.KW, 107 * power.KW}
+)
+
+func TestUnboundAuditorDegraded(t *testing.T) {
+	a := slo.NewAuditor(slo.Config{Store: tsdb.NewStore(tsdb.Options{})})
+	a.Tick(context.Background(), time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	h := a.Health()
+	if h.State != slo.StateDegraded {
+		t.Fatalf("unbound health = %v, want degraded", h.State)
+	}
+	if len(h.Reasons) == 0 {
+		t.Fatal("unbound health has no reason")
+	}
+	if a.Bound() {
+		t.Fatal("Bound() = true before Bind")
+	}
+}
+
+// TestSteadyStateReady drives a healthy room: every objective inside
+// budget, the probe round clean, and the derived safety series present
+// with the expected values.
+func TestSteadyStateReady(t *testing.T) {
+	h := newHarness(t, slo.Config{})
+	ctx := context.Background()
+	h.feed(normalPower)
+	h.ctl.StepContext(ctx)
+	h.aud.Tick(ctx, h.now)
+
+	if got := h.aud.Health(); got.State != slo.StateReady {
+		t.Fatalf("health = %v (%v), want ready", got.State, got.Reasons)
+	}
+	st := h.aud.Status()
+	if st.EpisodeOpen || st.BudgetBurn != 0 {
+		t.Fatalf("steady state reports episode: %+v", st)
+	}
+	if st.Probe.Rounds != 1 || st.Probe.Failures != 0 || st.Probe.CleanRounds != 1 {
+		t.Fatalf("probe = %+v, want one clean round", st.Probe)
+	}
+	if len(st.Objectives) != 4 {
+		t.Fatalf("objectives = %d, want 4", len(st.Objectives))
+	}
+	for _, o := range st.Objectives {
+		if o.Bad || o.Breached {
+			t.Fatalf("objective %s bad/breached at steady state: %+v", o.Name, o)
+		}
+	}
+
+	// Derived series: headroom = capacity − measured power.
+	store := h.aud.Store()
+	hs, ok := store.Lookup(tsdb.SeriesKey(slo.SeriesUPSHeadroom, [2]string{"ups", h.topo.UPSes[0].Name}))
+	if !ok {
+		t.Fatalf("headroom series missing; have %v", store.Names())
+	}
+	if last, _ := hs.Last(); last.Value != float64(50*power.KW) {
+		t.Fatalf("headroom = %v, want 50kW", last.Value)
+	}
+	// Stranded power (Eq. 5): allocatable 300kW − allocated 180kW.
+	ss, ok := store.Lookup(slo.SeriesStrandedPower)
+	if !ok {
+		t.Fatal("stranded series missing")
+	}
+	if last, _ := ss.Last(); last.Value != float64(120*power.KW) {
+		t.Fatalf("stranded = %v, want 120kW", last.Value)
+	}
+	if _, ok := store.Lookup(slo.SeriesBudgetBurn); !ok {
+		t.Fatal("budget-burn series missing")
+	}
+	if _, ok := store.Lookup(slo.SeriesProbeFeasible); !ok {
+		t.Fatal("probe-feasibility series missing")
+	}
+}
+
+// TestFreshnessBreachAndRecover stalls telemetry until the ups-freshness
+// objective burns its budget, then feeds fresh samples until the burn
+// drains: the breach and recover events must pair up causally.
+func TestFreshnessBreachAndRecover(t *testing.T) {
+	h := newHarness(t, slo.Config{ProbeEvery: -1})
+	ctx := context.Background()
+	h.feed(normalPower)
+	h.aud.Tick(ctx, h.now)
+
+	// Stall: advance 5s without new samples. Readings age past the 1s
+	// default threshold; the fast-window burn trips immediately.
+	h.clk.Advance(5 * time.Second)
+	h.now = h.clk.Now()
+	h.aud.Tick(ctx, h.now)
+
+	st := h.aud.Status()
+	var fresh *slo.Objective
+	for i := range st.Objectives {
+		if st.Objectives[i].Name == slo.ObjUPSFresh {
+			fresh = &st.Objectives[i]
+		}
+	}
+	if fresh == nil || !fresh.Bad || !fresh.Breached {
+		t.Fatalf("ups-freshness after stall = %+v, want bad+breached", fresh)
+	}
+	breaches := h.rec.Query(recorder.Filter{Type: recorder.TypeSLOBreach, Subject: slo.ObjUPSFresh})
+	if len(breaches) != 1 {
+		t.Fatalf("breach events = %d, want 1", len(breaches))
+	}
+	if fresh.BreachSeq != breaches[0].Seq {
+		t.Fatalf("objective.BreachSeq = %d, event seq = %d", fresh.BreachSeq, breaches[0].Seq)
+	}
+	if h.aud.Health().State != slo.StateDegraded {
+		t.Fatalf("health during breach = %v, want degraded", h.aud.Health().State)
+	}
+
+	// Recover: fresh telemetry every second until the bad samples age out
+	// of the fast window.
+	for i := 0; i < 90; i++ {
+		h.feed(normalPower)
+		h.aud.Tick(ctx, h.now)
+	}
+	recovers := h.rec.Query(recorder.Filter{Type: recorder.TypeSLORecover, Subject: slo.ObjUPSFresh})
+	if len(recovers) != 1 {
+		t.Fatalf("recover events = %d, want 1", len(recovers))
+	}
+	if recovers[0].Cause != breaches[0].Seq {
+		t.Fatalf("recover.Cause = %d, want breach seq %d", recovers[0].Cause, breaches[0].Seq)
+	}
+	if got := h.aud.Health(); got.State != slo.StateReady {
+		t.Fatalf("health after recovery = %v (%v), want ready", got.State, got.Reasons)
+	}
+}
+
+// TestShedBudgetEpisode fails a UPS and checks the acceptance criterion:
+// /slo reports budget burn for the open episode, /healthz flips
+// ready→degraded and back, and the slo-breach / slo-recover events carry
+// the episode ID with recover causally citing its breach.
+func TestShedBudgetEpisode(t *testing.T) {
+	h := newHarness(t, slo.Config{})
+	ctx := context.Background()
+
+	// Steady state first (also consumes the first due probe).
+	h.feed(normalPower)
+	h.ctl.StepContext(ctx)
+	h.aud.Tick(ctx, h.now)
+	if h.aud.Health().State != slo.StateReady {
+		t.Fatal("not ready before failure")
+	}
+
+	// UPS 0 fails; survivors overdraw. The episode opens at detection.
+	h.feed(overdrawPower)
+	out := h.ctl.StepContext(ctx)
+	if !out.Overdraw {
+		t.Fatal("overdraw not detected")
+	}
+	h.aud.Tick(ctx, h.now)
+	probeRoundsAtFailure := h.aud.Status().Probe.Rounds
+
+	// One more overdrawn second: burn becomes measurable.
+	h.feed(overdrawPower)
+	h.ctl.StepContext(ctx)
+	h.aud.Tick(ctx, h.now)
+
+	st := h.aud.Status()
+	if !st.EpisodeOpen || st.EpisodeID == 0 {
+		t.Fatalf("episode not reported: %+v", st)
+	}
+	if st.BudgetBurn <= 0 || st.BudgetBurn >= 1 {
+		t.Fatalf("budget burn = %v, want in (0,1) one second into the episode", st.BudgetBurn)
+	}
+	if h.aud.Health().State != slo.StateDegraded {
+		t.Fatalf("health during episode = %v, want degraded", h.aud.Health().State)
+	}
+	// Probing is suppressed while a real failure is in progress: modeling
+	// a second failure on top is outside the paper's design envelope.
+	if st.Probe.Rounds != probeRoundsAtFailure {
+		t.Fatalf("probe ran during an open episode: %+v", st.Probe)
+	}
+	breaches := h.rec.Query(recorder.Filter{Type: recorder.TypeSLOBreach, Subject: slo.ObjShedBudget})
+	if len(breaches) != 1 {
+		t.Fatalf("shed-budget breach events = %d, want 1", len(breaches))
+	}
+	if breaches[0].Episode != st.EpisodeID {
+		t.Fatalf("breach.Episode = %d, want open episode %d", breaches[0].Episode, st.EpisodeID)
+	}
+
+	// Recovery: power returns below capacity, the episode closes, and the
+	// breach drains out of the fast window.
+	for i := 0; i < 90; i++ {
+		h.feed(normalPower)
+		h.ctl.StepContext(ctx)
+		h.aud.Tick(ctx, h.now)
+	}
+	if got := h.aud.Health(); got.State != slo.StateReady {
+		t.Fatalf("health after recovery = %v (%v), want ready", got.State, got.Reasons)
+	}
+	recovers := h.rec.Query(recorder.Filter{Type: recorder.TypeSLORecover, Subject: slo.ObjShedBudget})
+	if len(recovers) != 1 {
+		t.Fatalf("shed-budget recover events = %d, want 1", len(recovers))
+	}
+	if recovers[0].Cause != breaches[0].Seq {
+		t.Fatalf("recover.Cause = %d, want breach seq %d", recovers[0].Cause, breaches[0].Seq)
+	}
+	if recovers[0].Episode != breaches[0].Episode {
+		t.Fatalf("recover.Episode = %d, breach.Episode = %d", recovers[0].Episode, breaches[0].Episode)
+	}
+
+	// The health transition history shows the full flip.
+	trs := h.aud.Transitions()
+	var saw []string
+	for _, tr := range trs {
+		saw = append(saw, tr.From.String()+"→"+tr.To.String())
+	}
+	want := map[string]bool{"ready→degraded": false, "degraded→ready": false}
+	for _, s := range saw {
+		if _, ok := want[s]; ok {
+			want[s] = true
+		}
+	}
+	for k, ok := range want {
+		if !ok {
+			t.Fatalf("transition %s missing; saw %v", k, saw)
+		}
+	}
+}
+
+// TestBudgetExhaustedUnsafe keeps an overdraw episode open past the full
+// 10s detect→act budget: /healthz must go unsafe (503).
+func TestBudgetExhaustedUnsafe(t *testing.T) {
+	h := newHarness(t, slo.Config{ProbeEvery: -1})
+	ctx := context.Background()
+	h.feed(overdrawPower)
+	h.ctl.StepContext(ctx)
+	// Keep the overdraw standing for 12 virtual seconds.
+	for i := 0; i < 12; i++ {
+		h.feed(overdrawPower)
+		h.ctl.StepContext(ctx)
+		h.aud.Tick(ctx, h.now)
+	}
+	st := h.aud.Status()
+	if st.BudgetBurn < 1 {
+		t.Fatalf("budget burn = %v, want >= 1 after 12s", st.BudgetBurn)
+	}
+	if st.Health.State != slo.StateUnsafe {
+		t.Fatalf("health = %v (%v), want unsafe", st.Health.State, st.Health.Reasons)
+	}
+	rr := httptest.NewRecorder()
+	h.aud.HealthHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status = %d, want 503", rr.Code)
+	}
+}
+
+// TestProbeInfeasibleUnsafe builds a room whose load survives normal
+// operation but has no shaveable power to cover a failover: the what-if
+// probe must flag every UPS infeasible and flip /healthz unsafe even
+// though nothing has failed yet.
+func TestProbeInfeasibleUnsafe(t *testing.T) {
+	topo, err := power.NewRoom(power.RoomConfig{
+		Design:              power.Redundancy{X: 4, Y: 3},
+		UPSCapacity:         100 * power.KW,
+		PairsPerCombination: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One untouchable 60kW rack per pair: normal per-UPS load 90kW fits
+	// under capacity−buffer; any failover pushes survivors to 120kW with
+	// nothing the planner may act on.
+	var racks []controller.ManagedRack
+	for _, p := range topo.Pairs {
+		racks = append(racks, controller.ManagedRack{
+			ID: fmt.Sprintf("nc-%d", p.ID), Workload: "gpucluster",
+			Category: workload.NonRedundantNonCapable, Pair: p.ID,
+			Allocated: 60 * power.KW, FlexPower: 60 * power.KW,
+		})
+	}
+	clk := clock.NewVirtual(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	upsView, rackView := telemetry.NewLatestPower(), telemetry.NewLatestPower()
+	rec := recorder.New(0)
+	aud := slo.NewAuditor(slo.Config{Store: tsdb.NewStore(tsdb.Options{}), Recorder: rec})
+	aud.Bind(slo.Bindings{
+		Clock: clk, Topo: topo, Racks: racks,
+		UPSView: upsView, RackView: rackView,
+		Scenario: impact.Realistic1(), Buffer: power.KW,
+		AllocatablePower: 360 * power.KW,
+	})
+	clk.Advance(time.Second)
+	now := clk.Now()
+	for u := range topo.UPSes {
+		upsView.Update(telemetry.Sample{
+			Device: topo.UPSes[u].Name, Power: 90 * power.KW, Valid: true, MeasuredAt: now,
+		})
+	}
+	for _, r := range racks {
+		rackView.Update(telemetry.Sample{Device: r.ID, Power: r.Allocated, Valid: true, MeasuredAt: now})
+	}
+	aud.Tick(context.Background(), now)
+
+	st := aud.Status()
+	if st.Probe.Rounds != 1 || st.Probe.Failures != 1 {
+		t.Fatalf("probe = %+v, want one failed round", st.Probe)
+	}
+	if len(st.Probe.Infeasible) != len(topo.UPSes) {
+		t.Fatalf("infeasible = %v, want all %d UPSes", st.Probe.Infeasible, len(topo.UPSes))
+	}
+	if st.Health.State != slo.StateUnsafe {
+		t.Fatalf("health = %v (%v), want unsafe", st.Health.State, st.Health.Reasons)
+	}
+	fails := rec.Query(recorder.Filter{Type: recorder.TypeProbeFail})
+	if len(fails) != len(topo.UPSes) {
+		t.Fatalf("probe-fail events = %d, want %d", len(fails), len(topo.UPSes))
+	}
+	if fails[0].Value <= 0 || fails[0].Detail == "" {
+		t.Fatalf("probe-fail event lacks uncovered watts or detail: %+v", fails[0])
+	}
+	// Feasibility series records the failure.
+	if s, ok := aud.Store().Lookup(slo.SeriesProbeFeasible); !ok {
+		t.Fatal("probe-feasibility series missing")
+	} else if last, _ := s.Last(); last.Value != 0 {
+		t.Fatalf("probe feasible = %v, want 0", last.Value)
+	}
+}
+
+// TestHandlers exercises the /slo and /healthz JSON surfaces at steady
+// state.
+func TestHandlers(t *testing.T) {
+	h := newHarness(t, slo.Config{})
+	ctx := context.Background()
+	h.feed(normalPower)
+	h.ctl.StepContext(ctx)
+	h.aud.Tick(ctx, h.now)
+
+	rr := httptest.NewRecorder()
+	h.aud.SLOHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/slo", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/slo status = %d", rr.Code)
+	}
+	var st slo.Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/slo decode: %v", err)
+	}
+	if len(st.Objectives) != 4 || st.Ticks != 1 {
+		t.Fatalf("/slo = %+v", st)
+	}
+
+	rr = httptest.NewRecorder()
+	h.aud.HealthHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", rr.Code)
+	}
+	var hv slo.Health
+	if err := json.Unmarshal(rr.Body.Bytes(), &hv); err != nil {
+		t.Fatalf("/healthz decode: %v", err)
+	}
+	if hv.State != slo.StateReady {
+		t.Fatalf("/healthz state = %v", hv.State)
+	}
+
+	rr = httptest.NewRecorder()
+	h.aud.HealthHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz?transitions=1", nil))
+	var withTr struct {
+		State       slo.State        `json:"state"`
+		Transitions []slo.Transition `json:"transitions"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &withTr); err != nil {
+		t.Fatalf("/healthz?transitions=1 decode: %v", err)
+	}
+	if len(withTr.Transitions) == 0 {
+		t.Fatal("transition history empty (Bind records degraded→ready)")
+	}
+}
+
+// BenchmarkProbe measures one what-if probe round (a full feasibility
+// pass per UPS) — the BENCH_obs.json probe-latency figure.
+func BenchmarkProbe(b *testing.B) {
+	topo, err := power.NewRoom(power.RoomConfig{
+		Design:              power.Redundancy{X: 4, Y: 3},
+		UPSCapacity:         100 * power.KW,
+		PairsPerCombination: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	racks := testRacks(topo)
+	// Load the room so every simulated failover needs real planning.
+	for i := range racks {
+		racks[i].Allocated = 30 * power.KW
+		if racks[i].FlexPower > 0 {
+			racks[i].FlexPower = 25 * power.KW
+		}
+	}
+	clk := clock.NewVirtual(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	upsView, rackView := telemetry.NewLatestPower(), telemetry.NewLatestPower()
+	aud := slo.NewAuditor(slo.Config{
+		Store:      tsdb.NewStore(tsdb.Options{}),
+		ProbeEvery: time.Nanosecond, // due every tick
+	})
+	aud.Bind(slo.Bindings{
+		Clock: clk, Topo: topo, Racks: racks,
+		UPSView: upsView, RackView: rackView,
+		Scenario: impact.Realistic1(), Buffer: power.KW,
+		AllocatablePower: 400 * power.KW,
+	})
+	now := clk.Now()
+	for u := range topo.UPSes {
+		upsView.Update(telemetry.Sample{
+			Device: topo.UPSes[u].Name, Power: 85 * power.KW, Valid: true, MeasuredAt: now,
+		})
+	}
+	for _, r := range racks {
+		rackView.Update(telemetry.Sample{Device: r.ID, Power: r.Allocated, Valid: true, MeasuredAt: now})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		aud.Tick(ctx, clk.Now())
+	}
+	if aud.Status().Probe.Rounds == 0 {
+		b.Fatal("probe never ran")
+	}
+}
+
+// BenchmarkAuditTick measures a probe-free audit tick: derived-series
+// appends plus objective evaluation.
+func BenchmarkAuditTick(b *testing.B) {
+	topo, err := power.NewRoom(power.RoomConfig{
+		Design:              power.Redundancy{X: 4, Y: 3},
+		UPSCapacity:         100 * power.KW,
+		PairsPerCombination: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	racks := testRacks(topo)
+	clk := clock.NewVirtual(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	upsView, rackView := telemetry.NewLatestPower(), telemetry.NewLatestPower()
+	aud := slo.NewAuditor(slo.Config{Store: tsdb.NewStore(tsdb.Options{}), ProbeEvery: -1})
+	aud.Bind(slo.Bindings{
+		Clock: clk, Topo: topo, Racks: racks,
+		UPSView: upsView, RackView: rackView,
+		Scenario: impact.Realistic1(), Buffer: power.KW,
+		AllocatablePower: 300 * power.KW,
+	})
+	now := clk.Now()
+	for u := range topo.UPSes {
+		upsView.Update(telemetry.Sample{
+			Device: topo.UPSes[u].Name, Power: 50 * power.KW, Valid: true, MeasuredAt: now,
+		})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(100 * time.Millisecond)
+		aud.Tick(ctx, clk.Now())
+	}
+}

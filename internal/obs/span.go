@@ -142,9 +142,57 @@ type spanJSON struct {
 	DurationSeconds float64 `json:"duration_seconds"`
 }
 
+// TraceFilter selects traces for the /traces surface. Zero values are
+// wildcards, mirroring recorder.Filter: watch loops poll incrementally
+// with since=<seq> or from=<time> instead of refetching the full ring.
+type TraceFilter struct {
+	// MinSeq keeps traces with Seq >= MinSeq.
+	MinSeq uint64
+	// From keeps traces whose Start is at or after From.
+	From time.Time
+	// Episode keeps traces of one overdraw episode.
+	Episode uint64
+	// Limit keeps only the newest Limit traces after filtering (0 = all).
+	Limit int
+}
+
+func (f *TraceFilter) match(t *Trace) bool {
+	if f.MinSeq != 0 && t.Seq < f.MinSeq {
+		return false
+	}
+	if !f.From.IsZero() && t.Start.Before(f.From) {
+		return false
+	}
+	if f.Episode != 0 && t.Episode != f.Episode {
+		return false
+	}
+	return true
+}
+
+// RecentFiltered returns copies of the retained traces matching f,
+// newest first.
+func (tr *Tracer) RecentFiltered(f TraceFilter) []Trace {
+	all := tr.Recent()
+	out := make([]Trace, 0, len(all))
+	for i := range all {
+		if f.match(&all[i]) {
+			out = append(out, all[i])
+		}
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit] // newest first: keep the head
+	}
+	return out
+}
+
 // WriteJSON renders the retained traces (newest first) as a JSON array.
 func (tr *Tracer) WriteJSON(w io.Writer) error {
-	recent := tr.Recent()
+	return tr.WriteJSONFiltered(w, TraceFilter{})
+}
+
+// WriteJSONFiltered renders the traces matching f (newest first).
+func (tr *Tracer) WriteJSONFiltered(w io.Writer, f TraceFilter) error {
+	recent := tr.RecentFiltered(f)
 	out := make([]traceJSON, len(recent))
 	for i, t := range recent {
 		tj := traceJSON{

@@ -1,0 +1,99 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"flex/internal/obs"
+)
+
+// BenchmarkAppend is the BENCH_obs.json ingest figure: one hot-path
+// sample append, including amortized rollup folding. Must report 0
+// allocs/op (the //flex:hotpath contract).
+func BenchmarkAppend(b *testing.B) {
+	st := NewStore(Options{})
+	s := st.Series("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(t0.Add(time.Duration(i)*500*time.Millisecond), float64(i))
+	}
+}
+
+// BenchmarkAppendRollupSeal forces a bucket seal on every append (each
+// sample lands in a fresh 10s and 1m interval) — the worst-case fold.
+func BenchmarkAppendRollupSeal(b *testing.B) {
+	st := NewStore(Options{})
+	s := st.Series("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(t0.Add(time.Duration(i)*Tier1m), float64(i))
+	}
+}
+
+// BenchmarkQueryRaw re-buckets one minute of 500ms raw samples.
+func BenchmarkQueryRaw(b *testing.B) {
+	st := NewStore(Options{})
+	s := st.Series("bench")
+	for i := 0; i < 120; i++ {
+		s.Append(t0.Add(time.Duration(i)*500*time.Millisecond), float64(i))
+	}
+	r := QueryRange{From: t0, To: t0.Add(time.Minute), Step: 5 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Query(r); len(pts) == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}
+
+// BenchmarkQueryRollup answers an hour-scale query from the 1m tier.
+func BenchmarkQueryRollup(b *testing.B) {
+	st := NewStore(Options{RawCapacity: 64})
+	s := st.Series("bench")
+	for i := 0; i < 3600; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	r := QueryRange{From: t0, To: t0.Add(time.Hour), Step: Tier1m, Agg: AggMax}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Query(r); len(pts) == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}
+
+// BenchmarkWindowAvg is the burn-rate evaluation primitive: every SLO
+// objective calls it twice per audit tick.
+func BenchmarkWindowAvg(b *testing.B) {
+	st := NewStore(Options{})
+	s := st.Series("bench")
+	for i := 0; i < 600; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), float64(i%2))
+	}
+	from, to := t0.Add(9*time.Minute), t0.Add(10*time.Minute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, n := s.WindowAvg(from, to); n == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkSamplerTick scrapes a realistically sized registry (64
+// gauges) into the store — the per-tick sampling cost.
+func BenchmarkSamplerTick(b *testing.B) {
+	reg := obs.NewRegistry()
+	names := make([]*obs.Gauge, 64)
+	for i := range names {
+		names[i] = reg.Gauge("flex_bench_gauge_"+string(rune('a'+i%26))+string(rune('a'+i/26)), "")
+		names[i].Set(float64(i))
+	}
+	st := NewStore(Options{})
+	smp := &Sampler{Registry: reg, Store: st}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.Tick(t0.Add(time.Duration(i) * 500 * time.Millisecond))
+	}
+}

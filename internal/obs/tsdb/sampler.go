@@ -1,0 +1,104 @@
+package tsdb
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/obs"
+)
+
+// DefaultSampleInterval is the sampler cadence when Interval is zero:
+// 500ms, twice the controller interval, so the monitoring loop runs at a
+// faster timescale than the control loop it audits.
+const DefaultSampleInterval = 500 * time.Millisecond
+
+// Sampler scrapes an obs.Registry into a Store on a fixed cadence:
+// counters and gauges become one series each (counters as their raw
+// monotonic value — rate is a query-time concern), histograms become
+// `<name>_count` and `<name>_sum` series. Series keys follow the
+// expvar convention (`name;label=value`), so /debug/vars keys and
+// /query keys coincide.
+//
+// Tick is the synchronous core — the emulator drives it on the virtual
+// clock inside its tick loop — and Run wraps it in a clock.After loop
+// for wall-clock daemons.
+type Sampler struct {
+	Registry *obs.Registry
+	Store    *Store
+	// Clock paces Run. Tick callers supply timestamps directly.
+	Clock clock.Clock
+	// Interval is the scrape cadence for Run (DefaultSampleInterval when
+	// zero).
+	Interval time.Duration
+	// Filter, when non-nil, keeps only metrics it returns true for —
+	// e.g. restricting storage to flex_* series.
+	Filter func(name string) bool
+
+	ticks uint64
+}
+
+// Tick scrapes the registry once, stamping every stored point with now.
+// The scrape path allocates (snapshots, key strings) — it is a cold
+// path by design; only Series.Append underneath is allocation-free.
+func (s *Sampler) Tick(now time.Time) {
+	if s.Registry == nil || s.Store == nil {
+		return
+	}
+	s.ticks++
+	for _, snap := range s.Registry.Snapshots() {
+		if s.Filter != nil && !s.Filter(snap.Name) {
+			continue
+		}
+		key := snapshotKey(snap)
+		switch snap.Kind {
+		case obs.KindHistogram:
+			s.Store.Series(key+"_count").Append(now, float64(snap.Count))
+			s.Store.Series(key+"_sum").Append(now, snap.Sum)
+		default:
+			s.Store.Series(key).Append(now, snap.Value)
+		}
+	}
+}
+
+// Ticks reports how many scrapes have run.
+func (s *Sampler) Ticks() uint64 { return s.ticks }
+
+// Run scrapes on the configured cadence until ctx is done. It paces on
+// the injected clock; with a virtual clock prefer driving Tick directly
+// for determinism.
+func (s *Sampler) Run(ctx context.Context) {
+	interval := s.Interval
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	clk := s.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-clk.After(interval):
+			s.Tick(now)
+		}
+	}
+}
+
+// snapshotKey renders the expvar-style series key for a snapshot.
+func snapshotKey(s obs.Snapshot) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, l := range s.Labels {
+		b.WriteByte(';')
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAppendAndRaw(t *testing.T) {
+	st := NewStore(Options{RawCapacity: 8})
+	s := st.Series("x")
+	for i := 0; i < 5; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	raw := s.Raw()
+	if len(raw) != 5 {
+		t.Fatalf("len(raw) = %d, want 5", len(raw))
+	}
+	for i, p := range raw {
+		if p.Value != float64(i) || !p.Time.Equal(t0.Add(time.Duration(i)*time.Second)) {
+			t.Fatalf("raw[%d] = %+v", i, p)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.Value != 4 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+}
+
+func TestRawRingWraparound(t *testing.T) {
+	st := NewStore(Options{RawCapacity: 4})
+	s := st.Series("x")
+	for i := 0; i < 10; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	raw := s.Raw()
+	if len(raw) != 4 {
+		t.Fatalf("len(raw) = %d, want 4", len(raw))
+	}
+	for i, p := range raw {
+		if want := float64(6 + i); p.Value != want {
+			t.Fatalf("raw[%d].Value = %v, want %v", i, p.Value, want)
+		}
+	}
+}
+
+func TestRollupMinMaxSumCount(t *testing.T) {
+	st := NewStore(Options{})
+	s := st.Series("x")
+	// 10 samples inside one 10s bucket, then one in the next.
+	for i := 0; i < 10; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), float64(i+1))
+	}
+	s.Append(t0.Add(10*time.Second), 100)
+	bks := s.Buckets(Tier10s)
+	if len(bks) != 2 {
+		t.Fatalf("len(buckets) = %d, want 2 (sealed + open)", len(bks))
+	}
+	b := bks[0]
+	if b.Min != 1 || b.Max != 10 || b.Sum != 55 || b.Count != 10 {
+		t.Fatalf("sealed bucket = %+v", b)
+	}
+	if !b.Start.Equal(t0) {
+		t.Fatalf("bucket start = %v, want %v", b.Start, t0)
+	}
+	if got := b.Avg(); got != 5.5 {
+		t.Fatalf("Avg = %v, want 5.5", got)
+	}
+	open := bks[1]
+	if open.Count != 1 || open.Min != 100 || !open.Start.Equal(t0.Add(10*time.Second)) {
+		t.Fatalf("open bucket = %+v", open)
+	}
+}
+
+// TestRawWraparoundAcrossRollupBoundary is the satellite edge case: the
+// raw ring is smaller than one rollup interval's worth of samples, so it
+// wraps (losing raw points) while the rollup keeps folding — the sealed
+// bucket must still account for every appended sample.
+func TestRawWraparoundAcrossRollupBoundary(t *testing.T) {
+	st := NewStore(Options{RawCapacity: 3})
+	s := st.Series("x")
+	// 20 samples at 1Hz: two full 10s buckets; the raw ring holds 3.
+	for i := 0; i < 20; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if n := len(s.Raw()); n != 3 {
+		t.Fatalf("raw retained %d, want 3", n)
+	}
+	bks := s.Buckets(Tier10s)
+	if len(bks) != 2 {
+		t.Fatalf("len(buckets) = %d, want 2", len(bks))
+	}
+	if bks[0].Count != 10 || bks[0].Min != 0 || bks[0].Max != 9 || bks[0].Sum != 45 {
+		t.Fatalf("first bucket = %+v, want full 10 samples despite raw wrap", bks[0])
+	}
+	if bks[1].Count != 10 || bks[1].Min != 10 || bks[1].Max != 19 {
+		t.Fatalf("second (open) bucket = %+v", bks[1])
+	}
+}
+
+// TestTickExactlyOnTierEdge is the satellite edge case: a virtual-clock
+// tick landing exactly on a 10s/1m boundary must open the next bucket,
+// not extend the previous one ([start, start+width) intervals).
+func TestTickExactlyOnTierEdge(t *testing.T) {
+	st := NewStore(Options{})
+	s := st.Series("x")
+	s.Append(t0, 1)                                     // bucket [0,10s)
+	s.Append(t0.Add(10*time.Second-time.Nanosecond), 2) // still [0,10s)
+	s.Append(t0.Add(10*time.Second), 3)                 // exactly on the edge → [10s,20s)
+	bks := s.Buckets(Tier10s)
+	if len(bks) != 2 {
+		t.Fatalf("len(buckets) = %d, want 2", len(bks))
+	}
+	if bks[0].Count != 2 || bks[0].Max != 2 {
+		t.Fatalf("first bucket = %+v, want the two pre-edge samples", bks[0])
+	}
+	if bks[1].Count != 1 || bks[1].Min != 3 || !bks[1].Start.Equal(t0.Add(10*time.Second)) {
+		t.Fatalf("edge bucket = %+v", bks[1])
+	}
+
+	// Same for the 1m tier: 60s lands in the second bucket.
+	s2 := st.Series("y")
+	s2.Append(t0.Add(59*time.Second), 1)
+	s2.Append(t0.Add(60*time.Second), 2)
+	m := s2.Buckets(Tier1m)
+	if len(m) != 2 || m[0].Count != 1 || m[1].Count != 1 {
+		t.Fatalf("1m buckets = %+v", m)
+	}
+}
+
+func TestRollupRingEviction(t *testing.T) {
+	st := NewStore(Options{RawCapacity: 4, TierCapacity: [2]int{3, 2}})
+	s := st.Series("x")
+	// 6 sealed 10s buckets (plus one open): tier ring keeps the last 3.
+	for i := 0; i < 61; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	bks := s.Buckets(Tier10s)
+	if len(bks) != 4 { // 3 sealed + open
+		t.Fatalf("len(buckets) = %d, want 4", len(bks))
+	}
+	if !bks[0].Start.Equal(t0.Add(30 * time.Second)) {
+		t.Fatalf("oldest retained bucket starts %v, want 30s", bks[0].Start)
+	}
+}
+
+func TestGapsProduceNoEmptyBuckets(t *testing.T) {
+	st := NewStore(Options{})
+	s := st.Series("x")
+	s.Append(t0, 1)
+	s.Append(t0.Add(45*time.Second), 2) // 3 intervals skipped
+	bks := s.Buckets(Tier10s)
+	if len(bks) != 2 {
+		t.Fatalf("len(buckets) = %d, want 2 (gap buckets omitted)", len(bks))
+	}
+	if !bks[1].Start.Equal(t0.Add(40 * time.Second)) {
+		t.Fatalf("second bucket starts %v, want 40s", bks[1].Start)
+	}
+}
+
+func TestStoreGetOrCreate(t *testing.T) {
+	st := NewStore(Options{})
+	a := st.Series("a")
+	if st.Series("a") != a {
+		t.Fatal("Series is not get-or-create")
+	}
+	if _, ok := st.Lookup("b"); ok {
+		t.Fatal("Lookup created a series")
+	}
+	st.Series("b")
+	names := st.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+func TestSeriesKey(t *testing.T) {
+	got := SeriesKey("flex_safety_ups_headroom_watts", [2]string{"ups", "UPS-1"})
+	want := "flex_safety_ups_headroom_watts;ups=UPS-1"
+	if got != want {
+		t.Fatalf("SeriesKey = %q, want %q", got, want)
+	}
+	if got := SeriesKey("plain"); got != "plain" {
+		t.Fatalf("SeriesKey = %q", got)
+	}
+}
+
+// TestAppendAllocationFree is the acceptance criterion: sample ingest is
+// allocation-free on the hot path (AllocsPerRun = 0), matching the
+// //flex:hotpath contract flexlint enforces statically.
+func TestAppendAllocationFree(t *testing.T) {
+	st := NewStore(Options{})
+	s := st.Series("x")
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		i++
+		s.Append(t0.Add(time.Duration(i)*137*time.Millisecond), float64(i))
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestAppendOutOfOrderWithinOpenBucket(t *testing.T) {
+	st := NewStore(Options{})
+	s := st.Series("x")
+	s.Append(t0.Add(5*time.Second), 5)
+	s.Append(t0.Add(3*time.Second), 3) // behind, same open bucket
+	bks := s.Buckets(Tier10s)
+	if len(bks) != 1 || bks[0].Count != 2 || bks[0].Min != 3 || bks[0].Max != 5 {
+		t.Fatalf("buckets = %+v", bks)
+	}
+}

@@ -8,10 +8,13 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"time"
 
 	"flex/internal/controller"
 	"flex/internal/impact"
 	"flex/internal/obs/recorder"
+	"flex/internal/obs/tsdb"
 	"flex/internal/placement"
 	"flex/internal/power"
 	"flex/internal/stats"
@@ -130,7 +133,19 @@ type Figure12Config struct {
 	// timestamps and the log is for /events browsing, not for flexreplay
 	// (which needs an emulation recording with a replay header).
 	Recorder *recorder.Recorder
+	// Store, when non-nil, records each snapshot's derived safety
+	// quantities as tsdb series labeled by scenario and utilization:
+	// recovered watts, action count, pre-shed worst survivor overload,
+	// and an insufficient flag. Snapshot runs are timeless, so points get
+	// synthetic timestamps — a fixed epoch plus one second per snapshot —
+	// which keeps the store's rollups and /query usable on the result
+	// without touching a wall clock.
+	Store *tsdb.Store
 }
+
+// simEpoch anchors the synthetic snapshot timestamps (the same fixed
+// date the virtual-clock emulation starts at).
+var simEpoch = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
 
 // Figure12Point is one x-axis point of Figure 12 for one scenario.
 type Figure12Point struct {
@@ -177,6 +192,7 @@ func RunFigure12(cfg Figure12Config) ([]Figure12Point, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var out []Figure12Point
+	snapshots := 0
 	for _, util := range cfg.Utilizations {
 		pt := Figure12Point{Utilization: util}
 		var impacted, shut, throttled []float64
@@ -205,13 +221,20 @@ func RunFigure12(cfg Figure12Config) ([]Figure12Point, error) {
 					recordSnapshot(cfg.Recorder, topo.UPSes[f].Name, util, actions, insufficient)
 				}
 				nShut, nThrottle := 0, 0
+				var recovered power.Watts
 				for _, a := range actions {
+					recovered += a.Recovered
 					if a.Kind == controller.Shutdown {
 						nShut++
 					} else {
 						nThrottle++
 					}
 				}
+				if cfg.Store != nil {
+					storeSnapshot(cfg.Store, cfg.Scenario.Name, util, snapshots,
+						topo, ups, power.UPSID(f), recovered, len(actions), insufficient)
+				}
+				snapshots++
 				impacted = append(impacted, 100*float64(len(actions))/float64(totalRacks))
 				if srRacks > 0 {
 					shut = append(shut, 100*float64(nShut)/float64(srRacks))
@@ -275,6 +298,45 @@ func recordSnapshot(rec *recorder.Recorder, upsName string, util float64, action
 		commit.Detail = "insufficient"
 	}
 	rec.Emit(commit)
+}
+
+// storeSnapshot appends one Figure 12 snapshot's derived quantities to
+// the tsdb store: what the plan recovered, how many racks it touched,
+// the worst pre-shed survivor overload, and whether shaveable power ran
+// out. Series are labeled by scenario and utilization so a /query
+// client can slice the sweep either way.
+func storeSnapshot(st *tsdb.Store, scenario string, util float64, snap int,
+	topo *power.Topology, ups []power.Watts, failed power.UPSID,
+	recovered power.Watts, actions int, insufficient bool) {
+	ts := simEpoch.Add(time.Duration(snap) * time.Second)
+	labels := [2][2]string{
+		{"scenario", scenario},
+		{"util", strconv.FormatFloat(util, 'f', 2, 64)},
+	}
+	var overload power.Watts
+	for v := range topo.UPSes {
+		if power.UPSID(v) == failed {
+			continue
+		}
+		if over := ups[v] - topo.UPSes[v].Capacity; over > overload {
+			overload = over
+		}
+	}
+	insuff := 0.0
+	if insufficient {
+		insuff = 1
+	}
+	for _, s := range []struct {
+		name  string
+		value float64
+	}{
+		{"flex_sim_recovered_watts", float64(recovered)},
+		{"flex_sim_actions", float64(actions)},
+		{"flex_sim_worst_overload_watts", float64(overload)},
+		{"flex_sim_insufficient", insuff},
+	} {
+		st.Series(tsdb.SeriesKey(s.name, labels[0], labels[1])).Append(ts, s.value)
+	}
 }
 
 // DefaultUtilizations returns the paper's Figure 12 x-axis range:

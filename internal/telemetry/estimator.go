@@ -116,6 +116,21 @@ func (e *EWMAEstimator) Bound(device string, k float64) (power.Watts, bool) {
 	return power.Watts(v), true
 }
 
+// DeviationTotal returns the sum of the per-device mean absolute
+// deviations — the estimator's aggregate conservatism margin in watts.
+// When the controller plans from Bound(-1), this is exactly how much
+// recoverable power the conservative bounds give up relative to the
+// smoothed means; the SLO auditor tracks it as a derived series.
+func (e *EWMAEstimator) DeviationTotal() power.Watts {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var sum float64
+	for _, d := range e.dev {
+		sum += d
+	}
+	return power.Watts(sum)
+}
+
 // BoundSnapshot returns mean + k×deviation for every tracked device.
 func (e *EWMAEstimator) BoundSnapshot(k float64) map[string]power.Watts {
 	e.mu.Lock()

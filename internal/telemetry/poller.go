@@ -275,3 +275,27 @@ func (l *LatestPower) Age(device string, now time.Time) (time.Duration, bool) {
 	}
 	return now.Sub(t), true
 }
+
+// Oldest returns the staleness of the view's least-fresh device at time
+// now — the quantity the telemetry-freshness SLO watches: one stuck
+// device is one stuck failover estimate. ok=false when the view is
+// empty.
+func (l *LatestPower) Oldest(now time.Time) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var worst time.Duration
+	ok := false
+	for _, t := range l.at {
+		if age := now.Sub(t); !ok || age > worst {
+			worst, ok = age, true
+		}
+	}
+	return worst, ok
+}
+
+// Count reports how many devices have reported at least once.
+func (l *LatestPower) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.power)
+}
