@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race cover bench bench-solver bench-obs figures fuzz examples replay-smoke slo-smoke ci clean
+.PHONY: all build vet lint lint-json test race cover bench bench-solver bench-obs bench-fleet figures fuzz examples replay-smoke slo-smoke fleet-smoke ci clean
 
 all: build vet lint test
 
@@ -45,12 +45,22 @@ replay-smoke:
 slo-smoke:
 	$(GO) run ./cmd/flexsim -experiment episode -slo
 
+# Runs the 10-room sharded fleet emulation and asserts the fleet smoke
+# criteria: every shard ready in the final snapshot, aggregate stranded
+# power equal to the sum of per-room Eq. 5, the failed room shed within
+# the 10s budget, zero cross-shard drops. flexsim exits non-zero on any
+# violation.
+fleet-smoke:
+	$(GO) run ./cmd/flexsim -experiment fleet -rooms 10
+
 # What CI runs (.github/workflows/ci.yml): the full gate plus a race pass
 # over the concurrent packages (./internal/obs/... covers obs/tsdb and
-# obs/slo), a flexmon smoke run with the observability surface enabled,
-# the record→replay determinism check, and the SLO smoke episode.
-ci: build vet lint test replay-smoke slo-smoke
-	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/obs/... ./internal/replay/... ./internal/milp/... ./internal/lp/...
+# obs/slo; ./internal/fleet covers the shard lifecycle and isolation
+# stress), a flexmon smoke run with the observability surface enabled,
+# the record→replay determinism check, the SLO smoke episode, and the
+# fleet smoke emulation.
+ci: build vet lint test replay-smoke slo-smoke fleet-smoke
+	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/obs/... ./internal/replay/... ./internal/milp/... ./internal/lp/... ./internal/fleet/... ./internal/emu/...
 	$(GO) run ./cmd/flexmon -quick -metrics -listen 127.0.0.1:0
 
 cover:
@@ -80,6 +90,15 @@ bench-solver:
 bench-obs:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x ./internal/obs/tsdb/ ./internal/obs/slo/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json
 	@echo wrote BENCH_obs.json
+
+# Records the fleet-scaling baseline (BenchmarkFleetDetectToShed: the
+# detect→shed latency of a UPS failure with 1/10/100 rooms riding on one
+# virtual clock). The shed-s/op column is virtual-clock seconds and must
+# stay under the 10s FlexLatencyBudget at every room count — the
+# benchmark itself fails otherwise.
+bench-fleet:
+	$(GO) test -run '^$$' -bench BenchmarkFleetDetectToShed -benchtime 3x ./internal/emu/ | $(GO) run ./cmd/benchjson -o BENCH_fleet.json
+	@echo wrote BENCH_fleet.json
 
 # Regenerates every figure/result of the paper's evaluation.
 figures:

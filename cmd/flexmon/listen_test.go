@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -20,7 +21,7 @@ func TestListenServesValidPrometheus(t *testing.T) {
 	pr, pw := io.Pipe()
 	errCh := make(chan error, 1)
 	go func() {
-		err := run([]string{"-quick", "-metrics", "-listen", "127.0.0.1:0"}, pw)
+		err := run(context.Background(), []string{"-quick", "-metrics", "-listen", "127.0.0.1:0"}, pw)
 		_ = pw.CloseWithError(err)
 		errCh <- err
 	}()

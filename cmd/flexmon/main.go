@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,13 +35,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "flexmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("flexmon", flag.ContinueOnError)
 	util := fs.Float64("util", 0.80, "steady-state utilization of provisioned power")
 	scenario := fs.String("scenario", "Realistic-1", "impact scenario (Extreme-1|Extreme-2|Realistic-1|Realistic-2)")
@@ -133,7 +134,7 @@ func run(args []string, out io.Writer) error {
 		cfg.RecoverAt = 7 * time.Minute
 		cfg.Duration = 10 * time.Minute
 	}
-	res, err := flex.RunEmulation(cfg)
+	res, err := flex.RunEmulationContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunQuickEmulation(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-csv"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-csv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -27,7 +28,7 @@ func TestRunQuickEmulation(t *testing.T) {
 func TestRunScenarios(t *testing.T) {
 	for _, sc := range []string{"Extreme-1", "Extreme-2", "Realistic-2"} {
 		var out bytes.Buffer
-		if err := run([]string{"-quick", "-scenario", sc}, &out); err != nil {
+		if err := run(context.Background(), []string{"-quick", "-scenario", sc}, &out); err != nil {
 			t.Fatalf("%s: %v", sc, err)
 		}
 		if !strings.Contains(out.String(), sc) {
@@ -37,7 +38,7 @@ func TestRunScenarios(t *testing.T) {
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run([]string{"-scenario", "nope"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error")
 	}
 }

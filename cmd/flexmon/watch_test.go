@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func TestWatchAgainstLiveRun(t *testing.T) {
 	pr, pw := io.Pipe()
 	errCh := make(chan error, 1)
 	go func() {
-		err := run([]string{"-quick", "-listen", "127.0.0.1:0"}, pw)
+		err := run(context.Background(), []string{"-quick", "-listen", "127.0.0.1:0"}, pw)
 		_ = pw.CloseWithError(err)
 		errCh <- err
 	}()
@@ -32,7 +33,7 @@ func TestWatchAgainstLiveRun(t *testing.T) {
 	addr := strings.Fields(strings.TrimPrefix(strings.TrimSpace(line), prefix))[0]
 
 	var watchOut strings.Builder
-	if err := run([]string{"-watch", "-url", "http://" + addr, "-every", "10ms", "-n", "3"}, &watchOut); err != nil {
+	if err := run(context.Background(), []string{"-watch", "-url", "http://" + addr, "-every", "10ms", "-n", "3"}, &watchOut); err != nil {
 		t.Fatalf("-watch: %v\n%s", err, watchOut.String())
 	}
 	lines := strings.Split(strings.TrimSpace(watchOut.String()), "\n")

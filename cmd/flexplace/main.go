@@ -48,7 +48,7 @@ func run(args []string, out io.Writer) error {
 
 	room := flex.PaperRoom()
 	if *reserve != 1.0 {
-		r, err := flex.PartialReserveRoom(room.Topo, 60, *reserve)
+		r, err := flex.NewPlacementRoom(room.Topo, flex.WithSlotsPerPair(60), flex.WithReserveUtilization(*reserve))
 		if err != nil {
 			return err
 		}

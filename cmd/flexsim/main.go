@@ -2,6 +2,7 @@
 //
 //	flexsim -experiment fig12        Figure 12 runtime-decision sweep
 //	flexsim -experiment episode      §V-C UPS-failure episode (replayable)
+//	flexsim -experiment fleet        multi-room sharded fleet (-rooms N)
 //	flexsim -experiment feasibility  §III joint-probability analysis
 //	flexsim -experiment montecarlo   §III Monte Carlo cross-check
 //	flexsim -experiment cost         §I construction-cost savings
@@ -31,16 +32,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "flexsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("flexsim", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig12", "fig12|episode|feasibility|montecarlo|cost|designs")
+	experiment := fs.String("experiment", "fig12", "fig12|episode|fleet|feasibility|montecarlo|cost|designs")
 	seed := fs.Int64("seed", 1, "random seed")
+	rooms := fs.Int("rooms", 10, "fleet experiment: number of UPS fault domains")
 	samples := fs.Int("samples", 3, "power snapshots per (failure, utilization)")
 	workers := fs.Int("workers", 0, "branch-and-bound workers per ILP solve (0 = NumCPU; deterministic for any value)")
 	csvDir := fs.String("csvdir", "", "also write results as CSV files into this directory")
@@ -104,7 +106,9 @@ func run(args []string, out io.Writer) error {
 	case "fig12":
 		return runFigure12(out, *seed, *samples, *workers, *csvDir, milp.NewMetrics(reg), rec)
 	case "episode":
-		return runEpisode(out, *seed, rec, reg, aud)
+		return runEpisode(ctx, out, *seed, rec, reg, aud)
+	case "fleet":
+		return runFleet(ctx, out, *rooms, *seed, reg)
 	case "feasibility":
 		return runFeasibility(out)
 	case "montecarlo":
@@ -122,7 +126,7 @@ func run(args []string, out io.Writer) error {
 // failure at 4 minutes, recovery at 7 — so a complete, replayable
 // overdraw episode is captured in a few hundred milliseconds of wall
 // time on the virtual clock.
-func runEpisode(out io.Writer, seed int64, rec *flex.FlightRecorder, reg *obs.Registry, aud *slo.Auditor) error {
+func runEpisode(ctx context.Context, out io.Writer, seed int64, rec *flex.FlightRecorder, reg *obs.Registry, aud *slo.Auditor) error {
 	cfg := flex.EmulationConfig{
 		Tick:      time.Second,
 		FailAt:    4 * time.Minute,
@@ -135,7 +139,7 @@ func runEpisode(out io.Writer, seed int64, rec *flex.FlightRecorder, reg *obs.Re
 		cfg.Obs = reg // the tsdb sampler scrapes the registry each tick
 		cfg.Safety = aud
 	}
-	res, err := flex.RunEmulation(cfg)
+	res, err := flex.RunEmulationContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -298,5 +302,51 @@ func runDesigns(out io.Writer) error {
 		fmt.Fprintf(out, "  %-14s %-10.1f%% %-10.1f%% %.0f%%\n",
 			d.Name, d.ReservedFraction*100, d.ExtraServerFraction*100, d.WorstFailoverLoad*100)
 	}
+	return nil
+}
+
+// runFleet drives the multi-room sharded fleet emulation and asserts the
+// smoke criteria: every shard ready in the final snapshot, the aggregate
+// stranded power equal to the sum of per-room Eq. 5, the failed room shed
+// within the 10s budget, and zero cross-shard drops.
+func runFleet(ctx context.Context, out io.Writer, rooms int, seed int64, reg *obs.Registry) error {
+	res, err := flex.RunFleetEmulationContext(ctx, flex.FleetEmulationConfig{
+		Rooms:    rooms,
+		FailRoom: rooms / 2,
+		Seed:     seed,
+		Obs:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	snap := res.Snapshot
+	fmt.Fprintf(out, "fleet: %d rooms, UPS failure in room %d (virtual clock)\n", res.Rooms, rooms/2)
+	fmt.Fprintf(out, "  detect latency: %v, shed latency: %v (budget %v)\n",
+		res.DetectLatency, res.ShedLatency, flex.FlexLatencyBudget)
+	fmt.Fprintf(out, "  fleet state: %v (%d/%d shards ready), stranded %v, allocatable %v, committed headroom %v\n",
+		snap.State, snap.Ready, len(snap.Rooms), snap.StrandedPower, snap.AllocatablePower, snap.CommittedHeadroom)
+
+	if res.ShedLatency < 0 || res.ShedLatency > flex.FlexLatencyBudget {
+		return fmt.Errorf("fleet smoke: shed latency %v outside the %v budget", res.ShedLatency, flex.FlexLatencyBudget)
+	}
+	if res.Outage {
+		return fmt.Errorf("fleet smoke: a UPS outlasted its trip curve")
+	}
+	if res.CrossRoomDrops != 0 {
+		return fmt.Errorf("fleet smoke: %d samples dropped outside the saturated room, want 0", res.CrossRoomDrops)
+	}
+	if snap.Ready != len(snap.Rooms) {
+		for _, r := range snap.Rooms {
+			if r.State != slo.StateReady {
+				fmt.Fprintf(out, "  room %s: %v %v\n", r.Name, r.State, r.Reasons)
+			}
+		}
+		return fmt.Errorf("fleet smoke: %d/%d shards ready, want all", snap.Ready, len(snap.Rooms))
+	}
+	if want := flex.Watts(rooms) * res.PerRoomStranded; snap.StrandedPower != want {
+		return fmt.Errorf("fleet smoke: aggregate stranded %v, want %d × %v = %v",
+			snap.StrandedPower, rooms, res.PerRoomStranded, want)
+	}
+	fmt.Fprintln(out, "  fleet smoke: ok")
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunFeasibility(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "feasibility"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "feasibility"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -23,14 +24,14 @@ func TestRunFeasibility(t *testing.T) {
 
 func TestRunCostAndDesigns(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "cost"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "cost"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "$213M") {
 		t.Errorf("cost output missing savings:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-experiment", "designs"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "designs"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "4N/3 (paper)") {
@@ -40,7 +41,7 @@ func TestRunCostAndDesigns(t *testing.T) {
 
 func TestRunMonteCarlo(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "montecarlo"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "montecarlo"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "no-action availability") {
@@ -49,14 +50,14 @@ func TestRunMonteCarlo(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "nope"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	// ContinueOnError turns flag errors into returns, not exits.
-	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected flag error")
 	}
 }
@@ -67,7 +68,7 @@ func TestRunFigure12WithCSV(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "fig12", "-samples", "1", "-csvdir", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig12", "-samples", "1", "-csvdir", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, sc := range []string{"Extreme-1", "Extreme-2", "Realistic-1", "Realistic-2"} {

@@ -37,7 +37,7 @@ func ExampleFlexOffline() {
 }
 
 // ExamplePlanActions runs Algorithm 1 for a failover snapshot.
-func ExamplePlanActions() {
+func ExamplePlanActionsContext() {
 	room := flex.PaperRoom()
 	trace, _ := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), 42)
 	policy := flex.FlexOfflineShort()
@@ -49,7 +49,7 @@ func ExamplePlanActions() {
 		ups[u] = flex.Watts(0.85 * 4.0 / 3.0 * 2.4e6) // survivors at 113%
 	}
 	ups[0] = 0 // failed supply
-	actions, insufficient, _ := flex.PlanActions(flex.PlanInput{
+	actions, insufficient, _ := flex.PlanActionsContext(context.Background(), flex.PlanInput{
 		Topo:     room.Topo,
 		Racks:    flex.ManagedRacks(flex.ExpandRacks(pl)),
 		UPSPower: ups,

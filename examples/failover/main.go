@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,7 +16,7 @@ import (
 
 func main() {
 	sc := flex.ScenarioRealistic1()
-	res, err := flex.RunEmulation(flex.EmulationConfig{
+	res, err := flex.RunEmulationContext(context.Background(), flex.EmulationConfig{
 		Utilization: 0.80,
 		Scenario:    &sc,
 		Tick:        time.Second,

@@ -44,7 +44,7 @@ func main() {
 	}
 	ups[0] = 0
 
-	actions, insufficient, err := flex.PlanActions(flex.PlanInput{
+	actions, insufficient, err := flex.PlanActionsContext(context.Background(), flex.PlanInput{
 		Topo:     room.Topo,
 		Racks:    flex.ManagedRacks(racks),
 		UPSPower: ups,

@@ -14,544 +14,32 @@
 //     pipeline for UPS overdraw and sheds the minimum-impact set of racks
 //     within the ~10-second overload tolerance window, guided by
 //     per-workload impact functions.
+//   - The fleet layer (NewFleet) scales Flex-Online to many rooms: one
+//     controller shard per UPS fault domain, batched telemetry ingest with
+//     bounded drop-oldest queues, and a global aggregator folding shard
+//     snapshots into fleet-wide stranded power and health.
 //
 // The package is a facade over the implementation in internal/…; it
-// re-exports the types and entry points a downstream user needs: topology
-// modelling, demand-trace generation, placement policies and metrics, the
-// online controller, the telemetry pipeline, the §V-B/§V-C experiment
-// harnesses, and the §III/§I analytic models.
-package flex
-
-import (
-	"context"
-	"io"
-	"math/rand"
-
-	"flex/internal/controller"
-	"flex/internal/cooling"
-	"flex/internal/cost"
-	"flex/internal/emu"
-	"flex/internal/feasibility"
-	"flex/internal/impact"
-	"flex/internal/lp"
-	"flex/internal/milp"
-	"flex/internal/obs/recorder"
-	"flex/internal/placement"
-	"flex/internal/power"
-	"flex/internal/replay"
-	"flex/internal/sim"
-	"flex/internal/telemetry"
-	"flex/internal/workload"
-)
-
-// Power and topology types.
-type (
-	// Watts is electrical power in watts.
-	Watts = power.Watts
-	// Redundancy is an xN/y distributed-redundancy design.
-	Redundancy = power.Redundancy
-	// Topology is a room's electrical topology (UPSes and PDU-pairs).
-	Topology = power.Topology
-	// UPSID identifies a UPS within a topology.
-	UPSID = power.UPSID
-	// PDUPairID identifies a PDU-pair within a topology.
-	PDUPairID = power.PDUPairID
-	// PairLoad is power per PDU-pair.
-	PairLoad = power.PairLoad
-	// TripCurve is a UPS overload tolerance curve (Figure 6).
-	TripCurve = power.TripCurve
-	// RoomConfig configures NewTopology.
-	RoomConfig = power.RoomConfig
-)
-
-// Power unit constants.
-const (
-	KW = power.KW
-	MW = power.MW
-)
-
-// FlexLatencyBudget is the 10-second end-to-end deadline for Flex-Online.
-const FlexLatencyBudget = power.FlexLatencyBudget
-
-// NewTopology builds an xN/y room topology (see power.NewRoom).
+// re-exports the types and entry points a downstream user needs, organized
+// by theme:
 //
-// The zero RoomConfig is invalid (capacity and pair count must be set);
-// prefer NewRedundantTopology, which starts from the paper's defaults.
-func NewTopology(cfg RoomConfig) (*Topology, error) { return power.NewRoom(cfg) }
-
-// TopologyOption customizes NewRedundantTopology.
-type TopologyOption func(*RoomConfig)
-
-// WithUPSCapacity sets each UPS's rated capacity. The default is the
-// paper's 2.4 MW evaluation UPS.
-func WithUPSCapacity(w Watts) TopologyOption {
-	return func(c *RoomConfig) { c.UPSCapacity = w }
-}
-
-// WithPairsPerCombination sets how many PDU-pairs to instantiate per
-// unordered UPS combination. The default is the paper's 3 (18 pairs for
-// 4N/3).
-func WithPairsPerCombination(n int) TopologyOption {
-	return func(c *RoomConfig) { c.PairsPerCombination = n }
-}
-
-// NewRedundantTopology builds an xN/y distributed-redundant topology from
-// the design plus options, defaulting the remaining knobs to the paper's
-// §V-A room (2.4 MW UPSes, 3 PDU-pairs per combination). Unlike the bare
-// RoomConfig accepted by NewTopology, every combination of options yields
-// a fully specified configuration.
-func NewRedundantTopology(design Redundancy, opts ...TopologyOption) (*Topology, error) {
-	cfg := RoomConfig{Design: design, UPSCapacity: 2.4 * MW, PairsPerCombination: 3}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	return power.NewRoom(cfg)
-}
-
-// EndOfLifeTripCurve is the conservative UPS tolerance curve Flex designs
-// against (10 s at the worst-case 133% failover load).
-func EndOfLifeTripCurve() TripCurve { return power.EndOfLifeTripCurve }
-
-// BeginOfLifeTripCurve is the fresh-battery tolerance curve.
-func BeginOfLifeTripCurve() TripCurve { return power.BeginOfLifeTripCurve }
-
-// Workload types.
-type (
-	// Category classifies a workload's tolerance to corrective actions.
-	Category = workload.Category
-	// Deployment is one unbreakable server deployment request.
-	Deployment = workload.Deployment
-	// TraceConfig parameterizes the synthetic demand generator.
-	TraceConfig = workload.TraceConfig
-	// RegionMix is a per-region workload distribution (Figure 3).
-	RegionMix = workload.RegionMix
-)
-
-// Workload categories.
-const (
-	SoftwareRedundant      = workload.SoftwareRedundant
-	NonRedundantCapable    = workload.NonRedundantCapable
-	NonRedundantNonCapable = workload.NonRedundantNonCapable
-)
-
-// DefaultTraceConfig returns the paper's §V-A demand configuration for a
-// room with the given provisioned power.
-func DefaultTraceConfig(provisioned Watts) TraceConfig {
-	return workload.DefaultTraceConfig(provisioned)
-}
-
-// GenerateTrace produces a synthetic short-term-demand trace.
-func GenerateTrace(cfg TraceConfig, seed int64) ([]Deployment, error) {
-	return workload.GenerateTrace(cfg, rand.New(rand.NewSource(seed)))
-}
-
-// ShuffleTrace permutes a trace (the paper evaluates 10 shuffles).
-func ShuffleTrace(trace []Deployment, seed int64) []Deployment {
-	return workload.Shuffle(trace, rand.New(rand.NewSource(seed)))
-}
-
-// Figure3Regions returns the synthetic per-region workload mix whose mean
-// matches the paper's published averages.
-func Figure3Regions() []RegionMix { return workload.Figure3Regions() }
-
-// WriteTrace / ReadTrace serialize demand traces as JSON.
-func WriteTrace(w io.Writer, trace []Deployment) error { return workload.WriteTrace(w, trace) }
-func ReadTrace(r io.Reader) ([]Deployment, error)      { return workload.ReadTrace(r) }
-
-// Placement types and policies.
-type (
-	// Room couples a topology with rack space (and optional cooling).
-	Room = placement.Room
-	// Placement is a policy's result with its safety/metric methods.
-	Placement = placement.Placement
-	// Policy places a demand trace into a room.
-	Policy = placement.Policy
-	// FlexOffline is the paper's ILP placement policy.
-	FlexOffline = placement.FlexOffline
-	// RandomPolicy places on a uniformly random feasible PDU-pair.
-	RandomPolicy = placement.Random
-	// RoundRobinPolicy cycles PDU-pairs with one shared pointer.
-	RoundRobinPolicy = placement.RoundRobin
-	// BalancedRoundRobinPolicy balances each category across PDU-pairs.
-	BalancedRoundRobinPolicy = placement.BalancedRoundRobin
-	// FirstFitPolicy concentrates load (the paper's counter-example).
-	FirstFitPolicy = placement.FirstFit
-	// Site routes one demand stream across several rooms.
-	Site = placement.Site
-	// SitePlacement is a Site placement outcome.
-	SitePlacement = placement.SitePlacement
-)
-
-// NewUniformSite builds a site of n identical paper rooms.
-func NewUniformSite(name string, n int) (*Site, error) {
-	return placement.NewUniformSite(name, n)
-}
-
-// NewRoom builds a placement room with uniform slots per PDU-pair.
-func NewRoom(topo *Topology, slotsPerPair int) (*Room, error) {
-	return placement.NewRoom(topo, slotsPerPair)
-}
-
-// PartialReserveRoom builds a room allocating only a fraction of the
-// reserved power (§VI: Microsoft's first production deployments use 42%,
-// where throttling alone covers every failover).
-func PartialReserveRoom(topo *Topology, slotsPerPair int, reserveUtilization float64) (*Room, error) {
-	return placement.PartialReserveRoom(topo, slotsPerPair, reserveUtilization)
-}
-
-// PaperRoom is the paper's §V-A evaluation room (9.6MW, 4N/3, 18 pairs).
-func PaperRoom() *Room { return placement.PaperRoom() }
-
-// EmulationRoom is the paper's §V-C emulation room (4.8MW, 360 racks).
-func EmulationRoom() *Room { return placement.EmulationRoom() }
-
-// FlexOfflineShort/Long/Oracle are the paper's three batching horizons.
-func FlexOfflineShort() FlexOffline  { return placement.FlexOfflineShort() }
-func FlexOfflineLong() FlexOffline   { return placement.FlexOfflineLong() }
-func FlexOfflineOracle() FlexOffline { return placement.FlexOfflineOracle() }
-
-// MILP solver surface — the engine behind Flex-Offline's batch ILP,
-// exposed for users who want to solve their own placement variants or
-// tune the search.
-type (
-	// MILPProblem is a linear program plus integrality requirements.
-	MILPProblem = milp.Problem
-	// SolveOptions tunes the parallel branch-and-bound search (workers,
-	// determinism, limits, warm starts).
-	SolveOptions = milp.Options
-	// SolveResult is one solve's outcome, including why a truncated
-	// search stopped.
-	SolveResult = milp.Result
-	// SolveStatus classifies a solve outcome.
-	SolveStatus = milp.Status
-	// StopReason says why a search stopped before proving optimality.
-	StopReason = milp.StopReason
-	// LinearProblem is a linear program over nonnegative variables.
-	LinearProblem = lp.Problem
-	// LinearConstraint is one row of a LinearProblem.
-	LinearConstraint = lp.Constraint
-	// ConstraintSense relates a constraint row to its right-hand side.
-	ConstraintSense = lp.Sense
-)
-
-// Solve statuses.
-const (
-	SolveOptimal    = milp.Optimal
-	SolveFeasible   = milp.Feasible
-	SolveInfeasible = milp.Infeasible
-	SolveUnbounded  = milp.Unbounded
-)
-
-// Stop reasons for truncated searches.
-const (
-	StopNone      = milp.StopNone
-	StopDeadline  = milp.StopDeadline
-	StopNodeLimit = milp.StopNodeLimit
-	StopCanceled  = milp.StopCanceled
-)
-
-// Constraint senses.
-const (
-	LE = lp.LE
-	GE = lp.GE
-	EQ = lp.EQ
-)
-
-// SolveMILP runs the parallel branch-and-bound solver under ctx: a
-// context deadline bounds the search (Stop == StopDeadline), and
-// cancellation returns the best incumbent with context.Cause(ctx).
-func SolveMILP(ctx context.Context, p *MILPProblem, opts SolveOptions) (SolveResult, error) {
-	return milp.SolveContext(ctx, p, opts)
-}
-
-// BatchPlacementILP builds the Flex-Offline batch ILP (Eq. 1–5) for
-// placing the batch into the room — the exact problem FlexOffline solves
-// per flush, useful as a realistic solver workload or a starting point
-// for custom placement formulations.
-func BatchPlacementILP(room *Room, batch []Deployment) *MILPProblem {
-	return placement.BatchILP(room, batch)
-}
-
-// Impact functions.
-type (
-	// ImpactFunction maps affected-rack fraction to perceived impact.
-	ImpactFunction = impact.Function
-	// ImpactPoint is a vertex of a piecewise-linear impact function.
-	ImpactPoint = impact.Point
-	// Scenario assigns impact functions to workloads/categories.
-	Scenario = impact.Scenario
-)
-
-// NewImpactFunction builds a piecewise-linear impact function.
-func NewImpactFunction(name string, points []ImpactPoint) (ImpactFunction, error) {
-	return impact.New(name, points)
-}
-
-// The Figure 11 scenario library and the paper's default behaviour.
-func ScenarioExtreme1() Scenario   { return impact.Extreme1() }
-func ScenarioExtreme2() Scenario   { return impact.Extreme2() }
-func ScenarioRealistic1() Scenario { return impact.Realistic1() }
-func ScenarioRealistic2() Scenario { return impact.Realistic2() }
-func ScenarioDefault() Scenario    { return impact.Default() }
-
-// Figure11Scenarios returns all four evaluation scenarios.
-func Figure11Scenarios() []Scenario { return impact.Figure11Scenarios() }
-
-// Figure8A/B/C are the paper's three production impact-function examples:
-// the cap-able VM service, a software-redundant stateless service, and a
-// software-redundant stateful service with growth buffer and critical
-// management racks.
-func Figure8A() ImpactFunction { return impact.Figure8A() }
-func Figure8B() ImpactFunction { return impact.Figure8B() }
-func Figure8C() ImpactFunction { return impact.Figure8C() }
-
-// Flex-Online types.
-type (
-	// ManagedRack is a rack under Flex-Online control.
-	ManagedRack = controller.ManagedRack
-	// PlannedAction is one corrective action chosen by Algorithm 1.
-	PlannedAction = controller.PlannedAction
-	// PlanInput is the snapshot Algorithm 1 plans from.
-	PlanInput = controller.PlanInput
-	// Controller is one Flex-Online primary.
-	Controller = controller.Controller
-	// ControllerConfig assembles a Controller.
-	ControllerConfig = controller.Config
-)
-
-// Action kinds.
-const (
-	ActionShutdown = controller.Shutdown
-	ActionThrottle = controller.Throttle
-)
-
-// PlanActions runs the paper's Algorithm 1 on a power snapshot.
-func PlanActions(in PlanInput) (actions []PlannedAction, insufficient bool, err error) {
-	return controller.Plan(in)
-}
-
-// PlanActionsContext is PlanActions with a cancellation point per greedy
-// iteration; on expiry it returns the truncated plan with
-// context.Cause(ctx).
-func PlanActionsContext(ctx context.Context, in PlanInput) (actions []PlannedAction, insufficient bool, err error) {
-	return controller.PlanContext(ctx, in)
-}
-
-// NewController creates a Flex-Online controller primary.
-func NewController(cfg ControllerConfig) *Controller { return controller.New(cfg) }
-
-// Telemetry types (paper §IV-C, Figure 7).
-type (
-	// Sample is one published power measurement.
-	Sample = telemetry.Sample
-	// PowerSource supplies ground-truth power to simulated meters.
-	PowerSource = telemetry.PowerSource
-	// Meter is a pull-based power meter.
-	Meter = telemetry.Meter
-	// LogicalMeter is a median-consensus meter over redundant physical
-	// meters.
-	LogicalMeter = telemetry.LogicalMeter
-	// Broker is an in-process pub/sub system.
-	Broker = telemetry.Broker
-	// BrokerServer exposes a Broker over TCP.
-	BrokerServer = telemetry.BrokerServer
-	// RemotePublisher publishes to a BrokerServer over TCP.
-	RemotePublisher = telemetry.RemotePublisher
-	// Poller reads logical meters and publishes samples.
-	Poller = telemetry.Poller
-	// LatestPower is the deduplicated freshest-power view controllers
-	// read.
-	LatestPower = telemetry.LatestPower
-	// EWMAEstimator is the §IV-D time-series rack-power estimator.
-	EWMAEstimator = telemetry.EWMAEstimator
-	// Pipeline is a fully assembled redundant telemetry system.
-	Pipeline = telemetry.Pipeline
-	// PipelineConfig configures NewPipeline.
-	PipelineConfig = telemetry.PipelineConfig
-)
-
-// Telemetry topics.
-const (
-	TopicUPS  = telemetry.TopicUPS
-	TopicRack = telemetry.TopicRack
-)
-
-// NewPipeline assembles a room's redundant telemetry pipeline.
-func NewPipeline(cfg PipelineConfig) *Pipeline { return telemetry.NewPipeline(cfg) }
-
-// NewLatestPower returns an empty power view.
-func NewLatestPower() *LatestPower { return telemetry.NewLatestPower() }
-
-// NewEWMAEstimator creates a time-series power estimator.
-func NewEWMAEstimator(alpha float64) *EWMAEstimator { return telemetry.NewEWMAEstimator(alpha) }
-
-// Experiment harnesses.
-type (
-	// RackInstance is one expanded physical rack of a placement.
-	RackInstance = sim.Rack
-	// Figure12Config drives the §V-B snapshot simulation.
-	Figure12Config = sim.Figure12Config
-	// Figure12Point is one utilization point of Figure 12.
-	Figure12Point = sim.Figure12Point
-	// EmulationConfig drives the §V-C end-to-end emulation.
-	EmulationConfig = emu.Config
-	// EmulationResult summarizes an emulation run.
-	EmulationResult = emu.Result
-)
-
-// ExpandRacks explodes a placement into physical racks.
-func ExpandRacks(pl *Placement) []RackInstance { return sim.ExpandRacks(pl) }
-
-// ManagedRacks converts racks to the controller representation.
-func ManagedRacks(racks []RackInstance) []ManagedRack { return sim.ManagedRacks(racks) }
-
-// RunFigure12 produces the Figure 12 series for one scenario.
-func RunFigure12(cfg Figure12Config) ([]Figure12Point, error) { return sim.RunFigure12(cfg) }
-
-// RunEmulation executes the Figure 13 end-to-end emulation without an
-// external cancellation point; prefer RunEmulationContext.
-func RunEmulation(cfg EmulationConfig) (*EmulationResult, error) {
-	//flexlint:ignore ctxflow deprecated ctx-less facade shorthand; live callers use RunEmulationContext
-	return emu.Run(context.Background(), cfg)
-}
-
-// RunEmulationContext executes the Figure 13 end-to-end emulation. ctx
-// bounds the offline placement solve and every controller planning pass.
-func RunEmulationContext(ctx context.Context, cfg EmulationConfig) (*EmulationResult, error) {
-	return emu.Run(ctx, cfg)
-}
-
-// Flight recorder: the causally-ordered event log every subsystem can
-// emit into (telemetry, consensus, planning, actuation), and the
-// deterministic episode replay built on it.
-type (
-	// FlightRecorder is the bounded in-memory event ring (plus optional
-	// JSONL sink). Hand one to EmulationConfig.Recorder, PipelineConfig.
-	// Recorder, or the controller/rackmgr configs.
-	FlightRecorder = recorder.Recorder
-	// FlightEvent is one recorded event.
-	FlightEvent = recorder.Event
-	// FlightEventType enumerates the event taxonomy.
-	FlightEventType = recorder.Type
-	// FlightFilter selects events (episode, type, actor, seq range …).
-	FlightFilter = recorder.Filter
-	// FlightSink persists events as length-prefixed JSONL.
-	FlightSink = recorder.Sink
-	// ReplayHeader is the episode-log preamble pinning room, scenario and
-	// managed racks.
-	ReplayHeader = replay.Header
-	// ReplayReport is the recorded-vs-replayed decision diff.
-	ReplayReport = replay.Report
-)
-
-// NewFlightRecorder creates a flight recorder retaining the last capacity
-// events (default 8192 when capacity <= 0).
-func NewFlightRecorder(capacity int) *FlightRecorder { return recorder.New(capacity) }
-
-// NewFlightSink wraps w as a length-prefixed JSONL event sink.
-func NewFlightSink(w io.Writer) *FlightSink { return recorder.NewSink(w) }
-
-// ReadFlightEvents parses a length-prefixed JSONL event log.
-func ReadFlightEvents(r io.Reader) ([]FlightEvent, error) { return recorder.ReadEvents(r) }
-
-// ReplayEvents re-drives every recorded planning pass of an episode log
-// and diffs the replayed decisions against the recorded ones, without an
-// external cancellation point; prefer ReplayEventsContext.
-func ReplayEvents(events []FlightEvent) (*ReplayReport, error) {
-	//flexlint:ignore ctxflow deprecated ctx-less facade shorthand; live callers use ReplayEventsContext
-	return replay.Replay(context.Background(), events)
-}
-
-// ReplayEventsContext re-drives every recorded planning pass of an
-// episode log under ctx and diffs the replayed decisions against the
-// recorded ones.
-func ReplayEventsContext(ctx context.Context, events []FlightEvent) (*ReplayReport, error) {
-	return replay.Replay(ctx, events)
-}
-
-// Analyses.
-type (
-	// FeasibilityParams configures the §III analysis.
-	FeasibilityParams = feasibility.Params
-	// FeasibilityAnalysis is its result.
-	FeasibilityAnalysis = feasibility.Analysis
-	// Savings is the §I construction-cost result.
-	Savings = cost.Savings
-	// DesignComparison contrasts redundancy designs.
-	DesignComparison = cost.DesignComparison
-)
-
-// MaintenanceWindow is a low-utilization stretch suited to planned
-// maintenance (§III).
-type MaintenanceWindow = feasibility.MaintenanceWindow
-
-// FindMaintenanceWindows scans an hourly utilization profile for windows
-// where planned maintenance never engages Flex-Online.
-func FindMaintenanceWindows(hourlyUtil []float64, minHours int, threshold float64) ([]MaintenanceWindow, error) {
-	return feasibility.FindMaintenanceWindows(hourlyUtil, minHours, threshold)
-}
-
-// WeekProfile synthesizes the paper's weekday-peak/night-dip utilization
-// profile for maintenance studies.
-func WeekProfile(peak, nightDip float64) []float64 {
-	return feasibility.WeekProfile(peak, nightDip)
-}
-
-// DefaultFeasibilityParams returns parameters calibrated to the paper's
-// fleet statistics (1 h/yr unplanned, 40 h/yr planned, 65–80% peaks).
-func DefaultFeasibilityParams() FeasibilityParams { return feasibility.DefaultParams() }
-
-// AnalyzeFeasibility runs the §III joint-probability analysis.
-func AnalyzeFeasibility(p FeasibilityParams) (FeasibilityAnalysis, error) {
-	return feasibility.Analyze(p)
-}
-
-// ComputeSavings evaluates the §I zero-reserved-power economics.
-func ComputeSavings(design Redundancy, sitePower Watts, dollarsPerWatt float64) (Savings, error) {
-	return cost.Compute(design, sitePower, dollarsPerWatt)
-}
-
-// CompareDesigns evaluates reserved power and Flex gains across designs.
-func CompareDesigns() []DesignComparison { return cost.CompareDesigns() }
-
-// Cooling-redundancy types (§VI "Implications on cooling infrastructure").
-type (
-	// CoolingDomain is a set of racks sharing CRAH units.
-	CoolingDomain = cooling.Domain
-	// CoolingRack is a rack's airflow demand and mitigation options.
-	CoolingRack = cooling.Rack
-	// ThermalParams model temperature rise under an airflow deficit.
-	ThermalParams = cooling.ThermalParams
-	// CoolingPlan is a mitigation plan for a cooling-unit failure.
-	CoolingPlan = cooling.PlanResult
-)
-
-// DefaultThermalParams returns a representative air-cooled room model.
-func DefaultThermalParams() ThermalParams { return cooling.DefaultThermalParams() }
-
-// PlanCoolingMitigation plans the response to losing cooling units:
-// migrate software-redundant racks first, then throttle, then shut down —
-// within the minutes-long thermal window (vs the 10s power budget).
-func PlanCoolingMitigation(domains []CoolingDomain, racks []CoolingRack, failed cooling.DomainID, failedUnits int, params ThermalParams) (CoolingPlan, error) {
-	return cooling.PlanMitigation(domains, racks, failed, failedUnits, params)
-}
-
-// ChargeModel prices the §VI financial incentives for flexible workloads.
-type ChargeModel = cost.ChargeModel
-
-// DefaultChargeModel returns a conservative §VI pricing parameterization.
-func DefaultChargeModel() ChargeModel { return cost.DefaultChargeModel() }
-
-// MonteCarloParams / MonteCarloResult drive the stochastic §III check.
-type (
-	MonteCarloParams = feasibility.MonteCarloParams
-	MonteCarloResult = feasibility.MonteCarloResult
-)
-
-// DefaultMonteCarloParams mirrors the paper's fleet statistics.
-func DefaultMonteCarloParams() MonteCarloParams { return feasibility.DefaultMonteCarloParams() }
-
-// SimulateYears runs the Monte Carlo counterpart of AnalyzeFeasibility.
-func SimulateYears(p MonteCarloParams) (MonteCarloResult, error) {
-	return feasibility.SimulateYears(p)
-}
+//	flex_topology.go     power units, xN/y topologies, trip curves
+//	flex_workload.go     workload categories and demand traces
+//	flex_placement.go    rooms, placement policies, Flex-Offline
+//	flex_solve.go        the MILP solver surface behind Flex-Offline
+//	flex_impact.go       impact functions and the Figure 11 scenarios
+//	flex_online.go       Flex-Online planning, controllers, actuation
+//	flex_telemetry.go    the redundant power-telemetry pipeline
+//	flex_fleet.go        the sharded multi-room fleet layer
+//	flex_experiments.go  the §V-B/§V-C experiment harnesses
+//	flex_recorder.go     flight recorder and deterministic replay
+//	flex_analysis.go     the §III/§I/§VI analytic models
+//
+// Construction follows one convention throughout: a New* constructor
+// taking the required collaborators plus With* functional options for the
+// tunable knobs (NewRedundantTopology, NewPlacementRoom,
+// NewOnlineController, NewFleet). Earlier positional constructors and
+// ctx-less shorthands remain as thin deprecated wrappers — they keep
+// compiling forever, but new code should prefer the options forms and the
+// *Context variants.
+package flex

@@ -1,0 +1,94 @@
+package flex
+
+import (
+	"flex/internal/cooling"
+	"flex/internal/cost"
+	"flex/internal/feasibility"
+)
+
+// Analyses.
+type (
+	// FeasibilityParams configures the §III analysis.
+	FeasibilityParams = feasibility.Params
+	// FeasibilityAnalysis is its result.
+	FeasibilityAnalysis = feasibility.Analysis
+	// Savings is the §I construction-cost result.
+	Savings = cost.Savings
+	// DesignComparison contrasts redundancy designs.
+	DesignComparison = cost.DesignComparison
+)
+
+// MaintenanceWindow is a low-utilization stretch suited to planned
+// maintenance (§III).
+type MaintenanceWindow = feasibility.MaintenanceWindow
+
+// FindMaintenanceWindows scans an hourly utilization profile for windows
+// where planned maintenance never engages Flex-Online.
+func FindMaintenanceWindows(hourlyUtil []float64, minHours int, threshold float64) ([]MaintenanceWindow, error) {
+	return feasibility.FindMaintenanceWindows(hourlyUtil, minHours, threshold)
+}
+
+// WeekProfile synthesizes the paper's weekday-peak/night-dip utilization
+// profile for maintenance studies.
+func WeekProfile(peak, nightDip float64) []float64 {
+	return feasibility.WeekProfile(peak, nightDip)
+}
+
+// DefaultFeasibilityParams returns parameters calibrated to the paper's
+// fleet statistics (1 h/yr unplanned, 40 h/yr planned, 65–80% peaks).
+func DefaultFeasibilityParams() FeasibilityParams { return feasibility.DefaultParams() }
+
+// AnalyzeFeasibility runs the §III joint-probability analysis.
+func AnalyzeFeasibility(p FeasibilityParams) (FeasibilityAnalysis, error) {
+	return feasibility.Analyze(p)
+}
+
+// ComputeSavings evaluates the §I zero-reserved-power economics.
+func ComputeSavings(design Redundancy, sitePower Watts, dollarsPerWatt float64) (Savings, error) {
+	return cost.Compute(design, sitePower, dollarsPerWatt)
+}
+
+// CompareDesigns evaluates reserved power and Flex gains across designs.
+func CompareDesigns() []DesignComparison { return cost.CompareDesigns() }
+
+// Cooling-redundancy types (§VI "Implications on cooling infrastructure").
+type (
+	// CoolingDomain is a set of racks sharing CRAH units.
+	CoolingDomain = cooling.Domain
+	// CoolingRack is a rack's airflow demand and mitigation options.
+	CoolingRack = cooling.Rack
+	// ThermalParams model temperature rise under an airflow deficit.
+	ThermalParams = cooling.ThermalParams
+	// CoolingPlan is a mitigation plan for a cooling-unit failure.
+	CoolingPlan = cooling.PlanResult
+)
+
+// DefaultThermalParams returns a representative air-cooled room model.
+func DefaultThermalParams() ThermalParams { return cooling.DefaultThermalParams() }
+
+// PlanCoolingMitigation plans the response to losing cooling units:
+// migrate software-redundant racks first, then throttle, then shut down —
+// within the minutes-long thermal window (vs the 10s power budget).
+func PlanCoolingMitigation(domains []CoolingDomain, racks []CoolingRack, failed cooling.DomainID, failedUnits int, params ThermalParams) (CoolingPlan, error) {
+	return cooling.PlanMitigation(domains, racks, failed, failedUnits, params)
+}
+
+// ChargeModel prices the §VI financial incentives for flexible workloads.
+type ChargeModel = cost.ChargeModel
+
+// DefaultChargeModel returns a conservative §VI pricing parameterization.
+func DefaultChargeModel() ChargeModel { return cost.DefaultChargeModel() }
+
+// MonteCarloParams / MonteCarloResult drive the stochastic §III check.
+type (
+	MonteCarloParams = feasibility.MonteCarloParams
+	MonteCarloResult = feasibility.MonteCarloResult
+)
+
+// DefaultMonteCarloParams mirrors the paper's fleet statistics.
+func DefaultMonteCarloParams() MonteCarloParams { return feasibility.DefaultMonteCarloParams() }
+
+// SimulateYears runs the Monte Carlo counterpart of AnalyzeFeasibility.
+func SimulateYears(p MonteCarloParams) (MonteCarloResult, error) {
+	return feasibility.SimulateYears(p)
+}

@@ -1,0 +1,71 @@
+package flex
+
+import (
+	"context"
+
+	"flex/internal/lp"
+	"flex/internal/milp"
+	"flex/internal/placement"
+)
+
+// MILP solver surface — the engine behind Flex-Offline's batch ILP,
+// exposed for users who want to solve their own placement variants or
+// tune the search.
+type (
+	// MILPProblem is a linear program plus integrality requirements.
+	MILPProblem = milp.Problem
+	// SolveOptions tunes the parallel branch-and-bound search (workers,
+	// determinism, limits, warm starts).
+	SolveOptions = milp.Options
+	// SolveResult is one solve's outcome, including why a truncated
+	// search stopped.
+	SolveResult = milp.Result
+	// SolveStatus classifies a solve outcome.
+	SolveStatus = milp.Status
+	// StopReason says why a search stopped before proving optimality.
+	StopReason = milp.StopReason
+	// LinearProblem is a linear program over nonnegative variables.
+	LinearProblem = lp.Problem
+	// LinearConstraint is one row of a LinearProblem.
+	LinearConstraint = lp.Constraint
+	// ConstraintSense relates a constraint row to its right-hand side.
+	ConstraintSense = lp.Sense
+)
+
+// Solve statuses.
+const (
+	SolveOptimal    = milp.Optimal
+	SolveFeasible   = milp.Feasible
+	SolveInfeasible = milp.Infeasible
+	SolveUnbounded  = milp.Unbounded
+)
+
+// Stop reasons for truncated searches.
+const (
+	StopNone      = milp.StopNone
+	StopDeadline  = milp.StopDeadline
+	StopNodeLimit = milp.StopNodeLimit
+	StopCanceled  = milp.StopCanceled
+)
+
+// Constraint senses.
+const (
+	LE = lp.LE
+	GE = lp.GE
+	EQ = lp.EQ
+)
+
+// SolveMILP runs the parallel branch-and-bound solver under ctx: a
+// context deadline bounds the search (Stop == StopDeadline), and
+// cancellation returns the best incumbent with context.Cause(ctx).
+func SolveMILP(ctx context.Context, p *MILPProblem, opts SolveOptions) (SolveResult, error) {
+	return milp.SolveContext(ctx, p, opts)
+}
+
+// BatchPlacementILP builds the Flex-Offline batch ILP (Eq. 1–5) for
+// placing the batch into the room — the exact problem FlexOffline solves
+// per flush, useful as a realistic solver workload or a starting point
+// for custom placement formulations.
+func BatchPlacementILP(room *Room, batch []Deployment) *MILPProblem {
+	return placement.BatchILP(room, batch)
+}

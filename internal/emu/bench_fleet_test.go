@@ -1,0 +1,51 @@
+package emu
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"flex/internal/power"
+)
+
+// BenchmarkFleetDetectToShed measures the detect→shed latency of a UPS
+// failure as the fleet grows: one placement solved once, replicated
+// across 1/10/100 shards on one virtual clock, failure injected into the
+// middle room. The benchmark reports the failed room's detect and shed
+// latency (virtual-clock seconds) alongside the wall-clock ns/op, and
+// fails outright if any iteration breaks the 10s FlexLatencyBudget —
+// the budget must hold at 100 rooms, not just 1.
+//
+// Recorded as BENCH_fleet.json by `make bench-fleet`.
+func BenchmarkFleetDetectToShed(b *testing.B) {
+	for _, rooms := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("rooms=%d", rooms), func(b *testing.B) {
+			var detect, shed time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := RunFleet(context.Background(), FleetConfig{
+					Rooms:    rooms,
+					FailRoom: rooms / 2,
+					Seed:     int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DetectLatency < 0 {
+					b.Fatalf("rooms=%d: UPS failure never detected", rooms)
+				}
+				if res.ShedLatency < 0 || res.ShedLatency > power.FlexLatencyBudget {
+					b.Fatalf("rooms=%d: shed latency %v outside the %v budget",
+						rooms, res.ShedLatency, power.FlexLatencyBudget)
+				}
+				if res.CrossRoomDrops != 0 {
+					b.Fatalf("rooms=%d: %d cross-room drops, want 0", rooms, res.CrossRoomDrops)
+				}
+				detect += res.DetectLatency
+				shed += res.ShedLatency
+			}
+			b.ReportMetric(detect.Seconds()/float64(b.N), "detect-s/op")
+			b.ReportMetric(shed.Seconds()/float64(b.N), "shed-s/op")
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package emu
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flex/internal/obs/slo"
+	"flex/internal/power"
+)
+
+// TestRunFleetShedsWithinBudget is the fleet smoke: a 10-room emulation
+// where one room's UPS fails. The failed room must detect and shed inside
+// the 10s FlexLatencyBudget, no room may trip, and the aggregate stranded
+// power must equal the sum of per-room Eq. 5.
+func TestRunFleetShedsWithinBudget(t *testing.T) {
+	res, err := RunFleet(context.Background(), FleetConfig{Rooms: 10, FailRoom: 3, FailUPS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectLatency < 0 {
+		t.Fatal("UPS failure never produced a corrective action")
+	}
+	if res.ShedLatency < 0 || res.ShedLatency > power.FlexLatencyBudget {
+		t.Fatalf("shed latency = %v, want within %v", res.ShedLatency, power.FlexLatencyBudget)
+	}
+	if res.Outage {
+		t.Fatal("a UPS outlasted its trip curve")
+	}
+	if res.CrossRoomDrops != 0 {
+		t.Fatalf("unsaturated rooms dropped %d samples, want 0", res.CrossRoomDrops)
+	}
+	if got, want := res.Snapshot.StrandedPower, power.Watts(10)*res.PerRoomStranded; got != want {
+		t.Fatalf("aggregate stranded = %v, want 10 × %v = %v", got, res.PerRoomStranded, want)
+	}
+	if len(res.Snapshot.Rooms) != 10 {
+		t.Fatalf("snapshot has %d rooms, want 10", len(res.Snapshot.Rooms))
+	}
+	// Every shard saw telemetry within freshness by the final tick.
+	for _, room := range res.Snapshot.Rooms {
+		if room.TelemetryAge < 0 {
+			t.Fatalf("room %s never received telemetry", room.Name)
+		}
+		if room.Pumped == 0 || room.Steps == 0 {
+			t.Fatalf("room %s: pumped=%d steps=%d, want both > 0", room.Name, room.Pumped, room.Steps)
+		}
+	}
+}
+
+// TestRunFleetShardIsolation saturates one room's ingest queue while a
+// different room's UPS fails: backpressure must engage (drops counted) in
+// the flooded room only, and the failed room must still shed within the
+// 10s budget — zero cross-shard stall.
+func TestRunFleetShardIsolation(t *testing.T) {
+	res, err := RunFleet(context.Background(), FleetConfig{
+		Rooms:          4,
+		FailRoom:       0,
+		FailUPS:        2,
+		SaturateRoom:   1,
+		SaturateFactor: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SaturatedDrops == 0 {
+		t.Fatal("flooded shard dropped nothing; backpressure not engaged")
+	}
+	if res.CrossRoomDrops != 0 {
+		t.Fatalf("non-flooded rooms dropped %d samples, want 0", res.CrossRoomDrops)
+	}
+	if res.ShedLatency < 0 || res.ShedLatency > power.FlexLatencyBudget {
+		t.Fatalf("shed latency = %v under neighbor saturation, want within %v",
+			res.ShedLatency, power.FlexLatencyBudget)
+	}
+	if res.Outage {
+		t.Fatal("a UPS outlasted its trip curve")
+	}
+	// The flooded room keeps functioning on its newest samples: drop-oldest
+	// sheds stale data, not the room's health.
+	for _, room := range res.Snapshot.Rooms {
+		if room.Name == "room-001" {
+			if room.State == slo.StateUnsafe {
+				t.Fatalf("flooded room went unsafe: %+v", room)
+			}
+			if room.Dropped == 0 {
+				t.Fatal("flooded room reports no drops in snapshot")
+			}
+		}
+	}
+}
+
+// TestRunFleetValidation rejects an out-of-range FailRoom.
+func TestRunFleetValidation(t *testing.T) {
+	if _, err := RunFleet(context.Background(), FleetConfig{Rooms: 2, FailRoom: 5}); err == nil {
+		t.Fatal("out-of-range FailRoom accepted")
+	}
+}
+
+// TestRunFleetSingleRoom exercises the degenerate 1-room fleet — the
+// configuration the per-room-count benchmark starts from.
+func TestRunFleetSingleRoom(t *testing.T) {
+	res, err := RunFleet(context.Background(), FleetConfig{Rooms: 1, Duration: 40 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShedLatency < 0 || res.ShedLatency > power.FlexLatencyBudget {
+		t.Fatalf("shed latency = %v, want within %v", res.ShedLatency, power.FlexLatencyBudget)
+	}
+}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"flex/internal/obs/slo"
+	"flex/internal/power"
+)
+
+// RoomStatus is one shard's slice of a fleet snapshot.
+type RoomStatus struct {
+	Name string `json:"name"`
+	// State is the shard's health verdict (ready/degraded/unsafe).
+	State slo.State `json:"state"`
+	// Reasons explain any non-ready state.
+	Reasons []string `json:"reasons,omitempty"`
+	// Stranded is the room's Eq. 5 stranded power.
+	Stranded power.Watts `json:"stranded_watts"`
+	// Allocatable is the room's allocatable power.
+	Allocatable power.Watts `json:"allocatable_watts"`
+	// CommittedHeadroom is the power recovered by enforced, unrestored
+	// actions (deduped across the shard's primaries).
+	CommittedHeadroom power.Watts `json:"committed_headroom_watts"`
+	// ActedRacks counts racks currently under an enforced action.
+	ActedRacks int `json:"acted_racks"`
+	// OpenEpisode is true while any primary has an overdraw episode open.
+	OpenEpisode bool `json:"open_episode"`
+	// EpisodeAge is how long the oldest open episode has been running.
+	EpisodeAge time.Duration `json:"episode_age_ns"`
+	// TelemetryAge is the staleness of the shard's least-fresh UPS
+	// reading; negative when the shard has never received a sample.
+	TelemetryAge time.Duration `json:"telemetry_age_ns"`
+	// Dropped counts samples evicted from the shard's ingest queues.
+	Dropped int `json:"dropped_samples"`
+	// Pumped counts samples moved into the shard's views.
+	Pumped uint64 `json:"pumped_samples"`
+	// Steps counts shard evaluation rounds.
+	Steps uint64 `json:"steps"`
+}
+
+// Snapshot is the fleet-level fold the aggregator produces.
+type Snapshot struct {
+	At    time.Time    `json:"at"`
+	Rooms []RoomStatus `json:"rooms"`
+	// State is the fleet verdict: the worst shard state, lifted to at
+	// least degraded when the snapshot itself has gone stale.
+	State slo.State `json:"state"`
+	// Ready counts shards in StateReady.
+	Ready int `json:"ready"`
+	// StrandedPower is the fleet total of per-room Eq. 5 stranded power.
+	StrandedPower power.Watts `json:"stranded_watts"`
+	// AllocatablePower is the fleet total allocatable power.
+	AllocatablePower power.Watts `json:"allocatable_watts"`
+	// CommittedHeadroom totals the rooms' committed recovered power.
+	CommittedHeadroom power.Watts `json:"committed_headroom_watts"`
+	// DroppedSamples totals ingest-queue evictions across shards.
+	DroppedSamples int `json:"dropped_samples"`
+}
+
+// roomStatus computes one shard's status at time now.
+func (f *Fleet) roomStatus(s *Shard, now time.Time) RoomStatus {
+	st := RoomStatus{
+		Name:        s.Name,
+		Stranded:    s.cfg.Stranded,
+		Allocatable: s.cfg.Allocatable,
+		Dropped:     s.Dropped(),
+		Pumped:      s.Pumped(),
+		Steps:       s.Steps(),
+	}
+	headroom, acted := s.committedHeadroom()
+	st.CommittedHeadroom = power.Watts(headroom)
+	st.ActedRacks = acted
+
+	age, seen := s.upsView.Oldest(now)
+	if seen {
+		st.TelemetryAge = age
+	} else {
+		st.TelemetryAge = -1
+	}
+	open, since := s.openEpisode()
+	st.OpenEpisode = open
+	if open {
+		st.EpisodeAge = now.Sub(since)
+	}
+
+	switch {
+	case open && st.EpisodeAge > power.FlexLatencyBudget:
+		// The invariant is at risk: an overdraw has outlived the battery
+		// budget without clearing.
+		st.State = slo.StateUnsafe
+		st.Reasons = append(st.Reasons, "open overdraw episode past the 10s budget")
+	case open:
+		st.State = slo.StateDegraded
+		st.Reasons = append(st.Reasons, "overdraw episode open")
+	case !seen:
+		st.State = slo.StateDegraded
+		st.Reasons = append(st.Reasons, "no UPS telemetry received")
+	case age > f.cfg.Freshness:
+		st.State = slo.StateDegraded
+		st.Reasons = append(st.Reasons, "UPS telemetry stale")
+	default:
+		st.State = slo.StateReady
+	}
+	s.mu.Lock()
+	retired := s.stopped || s.draining
+	s.mu.Unlock()
+	if retired && st.State == slo.StateReady {
+		st.State = slo.StateDegraded
+		st.Reasons = append(st.Reasons, "shard draining or stopped")
+	}
+	return st
+}
+
+// AggregateOnce folds every shard's status into a fleet snapshot at time
+// now, stores it as the latest snapshot (served by /fleet), and exports
+// the fleet metrics. The aggregation layer runs at a deliberately slower
+// cadence than the shard control loops; correctness of the 10s budget
+// never depends on it.
+func (f *Fleet) AggregateOnce(now time.Time) Snapshot {
+	shards := f.shardList()
+	snap := Snapshot{At: now, Rooms: make([]RoomStatus, 0, len(shards))}
+	worst := slo.StateReady
+	for _, s := range shards {
+		st := f.roomStatus(s, now)
+		snap.Rooms = append(snap.Rooms, st)
+		snap.StrandedPower += st.Stranded
+		snap.AllocatablePower += st.Allocatable
+		snap.CommittedHeadroom += st.CommittedHeadroom
+		snap.DroppedSamples += st.Dropped
+		if st.State == slo.StateReady {
+			snap.Ready++
+		}
+		worst = slo.Worst(worst, st.State)
+	}
+	snap.State = worst
+	f.mu.Lock()
+	f.snap = snap
+	f.hasSnap = true
+	f.mu.Unlock()
+	if f.metrics != nil {
+		f.metrics.export(snap)
+	}
+	return snap
+}
+
+// Snapshot returns the latest aggregated snapshot. When the aggregator
+// has not run yet it aggregates on the spot; when the stored snapshot has
+// aged past two aggregator periods the fleet state is lifted to at least
+// degraded — a stale global view must not read as healthy.
+func (f *Fleet) Snapshot() Snapshot {
+	now := f.cfg.Clock.Now()
+	f.mu.Lock()
+	snap, ok := f.snap, f.hasSnap
+	f.mu.Unlock()
+	if !ok {
+		return f.AggregateOnce(now)
+	}
+	if now.Sub(snap.At) > 2*f.cfg.AggregateEvery && snap.State < slo.StateDegraded {
+		snap.State = slo.StateDegraded
+	}
+	return snap
+}
+
+// RunAggregator folds shard snapshots every AggregateEvery on the fleet
+// clock until ctx is cancelled.
+func (f *Fleet) RunAggregator(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		f.AggregateOnce(f.cfg.Clock.Now())
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.cfg.Clock.After(f.cfg.AggregateEvery):
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package fleet scales Flex-Online from one room to a datacenter fleet:
+// one controller shard per UPS fault domain (room), telemetry fanned into
+// per-shard bounded ingest queues with batching and backpressure, and a
+// global aggregator folding per-shard snapshots into fleet-wide stranded
+// power (Eq. 5), committed headroom, and per-room health.
+//
+// The sharding follows the hierarchy the multi-timescale VPP control
+// literature argues for: fast local loops per fault domain (each shard
+// keeps the paper's 10s FlexLatencyBudget on its own), with a slower
+// aggregation layer on top for the fleet-level view. Shards share nothing
+// on their hot paths — each owns its telemetry views, controllers, and
+// ingest subscriptions — so one slow or saturated room can drop its own
+// samples (drop-oldest, counted) without ever stalling a neighbor.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/controller"
+	"flex/internal/impact"
+	"flex/internal/obs"
+	"flex/internal/obs/recorder"
+	"flex/internal/power"
+	"flex/internal/rackmgr"
+	"flex/internal/telemetry"
+)
+
+// Config assembles a Fleet. Zero values select sensible defaults.
+type Config struct {
+	// Name identifies the fleet in metrics and events (default "fleet").
+	Name string
+	// Clock drives shard loops and the aggregator (default wall clock).
+	Clock clock.Clock
+	// QueueDepth is each shard's per-topic ingest buffer in samples
+	// (default 1024). When a shard falls behind, the oldest samples in its
+	// queue are dropped and counted — backpressure never propagates to
+	// the publisher or to other shards.
+	QueueDepth int
+	// AggregateEvery is the aggregator cadence (default 2s): how often
+	// per-shard snapshots fold into the fleet snapshot. The aggregation
+	// layer is deliberately slower than the shard control loops.
+	AggregateEvery time.Duration
+	// Freshness is how stale a shard's UPS telemetry may get before the
+	// shard reports degraded (default 5s — beyond three missed 1.5s poll
+	// rounds the failover estimate is drifting).
+	Freshness time.Duration
+	// Obs, when non-nil, registers fleet metrics (per-room gauges and
+	// fleet totals) and is handed to each shard's controllers.
+	Obs *obs.Registry
+	// Recorder, when non-nil, is threaded to every shard's controllers so
+	// fleet-wide episodes land in one causal event log.
+	Recorder *recorder.Recorder
+}
+
+func (c *Config) fillDefaults() {
+	if c.Name == "" {
+		c.Name = "fleet"
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.AggregateEvery <= 0 {
+		c.AggregateEvery = 2 * time.Second
+	}
+	if c.Freshness <= 0 {
+		c.Freshness = 5 * time.Second
+	}
+}
+
+// RoomConfig describes one UPS fault domain joining the fleet.
+type RoomConfig struct {
+	// Name is the room's unique identity; it becomes the shard name, the
+	// ingest topic suffix, and the metrics label.
+	Name string
+	// Topo is the room's power topology.
+	Topo *power.Topology
+	// Racks are the room's managed racks (the controller's action space).
+	Racks []controller.ManagedRack
+	// Actuator enforces actions in this room.
+	Actuator *rackmgr.Manager
+	// Scenario supplies impact functions for planning.
+	Scenario impact.Scenario
+	// Controllers is the number of multi-primary controller instances for
+	// the shard (default 1; production rooms run 3 on separate fault
+	// domains).
+	Controllers int
+	// Stranded is the room's Eq. 5 stranded power from placement
+	// (AllocatablePower − PairLoad().Total()); the aggregator sums it into
+	// the fleet total.
+	Stranded power.Watts
+	// Allocatable is the room's allocatable power (Eq. 5's minuend).
+	Allocatable power.Watts
+	// Interval is the controller evaluation period (default 500ms).
+	Interval time.Duration
+	// PlanBudget bounds one planning pass (default half the 10s budget).
+	PlanBudget time.Duration
+	// Buffer is the safety margin below UPS capacity (default 1% of the
+	// smallest UPS capacity).
+	Buffer power.Watts
+}
+
+// Fleet is the sharded Flex-Online layer: an ingest bus, one shard per
+// room, and a periodic aggregator.
+type Fleet struct {
+	cfg     Config
+	broker  *telemetry.Broker
+	metrics *Metrics
+
+	mu      sync.Mutex
+	shards  map[string]*Shard
+	order   []string
+	snap    Snapshot
+	hasSnap bool
+}
+
+// New creates an empty fleet.
+func New(cfg Config) *Fleet {
+	cfg.fillDefaults()
+	f := &Fleet{
+		cfg:    cfg,
+		broker: telemetry.NewBroker(cfg.Name + "-ingest"),
+		shards: make(map[string]*Shard),
+	}
+	if cfg.Obs != nil {
+		f.metrics = NewMetrics(cfg.Obs)
+		f.broker.Metrics = telemetry.NewMetrics(cfg.Obs)
+	}
+	f.broker.Recorder = cfg.Recorder
+	return f
+}
+
+// AddRoom creates the room's shard: telemetry views, bounded ingest
+// subscriptions on the fleet bus, and the shard's controller instances.
+// The returned shard is idle; drive it synchronously (Pump + StepContext)
+// or start its loop with Start.
+func (f *Fleet) AddRoom(rc RoomConfig) (*Shard, error) {
+	if rc.Name == "" {
+		return nil, fmt.Errorf("fleet: room name required")
+	}
+	if rc.Topo == nil {
+		return nil, fmt.Errorf("fleet: room %s: topology required", rc.Name)
+	}
+	if rc.Controllers <= 0 {
+		rc.Controllers = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.shards[rc.Name]; dup {
+		return nil, fmt.Errorf("fleet: room %s already added", rc.Name)
+	}
+	s := newShard(f, rc)
+	f.shards[rc.Name] = s
+	f.order = append(f.order, rc.Name)
+	if f.metrics != nil {
+		f.metrics.Rooms.Set(float64(len(f.order)))
+	}
+	return s, nil
+}
+
+// Shard returns the named room's shard (nil when unknown).
+func (f *Fleet) Shard(room string) *Shard {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards[room]
+}
+
+// Rooms lists the fleet's room names in join order.
+func (f *Fleet) Rooms() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Ingest publishes a telemetry batch for one room by name. kind is
+// telemetry.TopicUPS or telemetry.TopicRack. It is the convenience form;
+// hot-path publishers hold the *Shard from AddRoom and call its IngestUPS
+// / IngestRacks directly, skipping the name lookup.
+func (f *Fleet) Ingest(room, kind string, batch []telemetry.Sample) error {
+	f.mu.Lock()
+	s := f.shards[room]
+	f.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("fleet: unknown room %s", room)
+	}
+	switch kind {
+	case telemetry.TopicUPS:
+		s.IngestUPS(batch)
+	case telemetry.TopicRack:
+		s.IngestRacks(batch)
+	default:
+		return fmt.Errorf("fleet: unknown topic kind %s", kind)
+	}
+	return nil
+}
+
+// shardList snapshots the shard set for lock-free iteration.
+func (f *Fleet) shardList() []*Shard {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Shard, 0, len(f.order))
+	for _, name := range f.order {
+		out = append(out, f.shards[name])
+	}
+	return out
+}

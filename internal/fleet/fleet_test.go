@@ -1,0 +1,434 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"flex/internal/clock"
+	"flex/internal/controller"
+	"flex/internal/impact"
+	"flex/internal/obs"
+	"flex/internal/obs/slo"
+	"flex/internal/power"
+	"flex/internal/rackmgr"
+	"flex/internal/telemetry"
+	"flex/internal/workload"
+)
+
+func t0() time.Time { return time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC) }
+
+// testTopo builds a small 4N/3 room: 4 × 100kW UPSes, 6 PDU-pairs.
+func testTopo(t *testing.T) *power.Topology {
+	t.Helper()
+	topo, err := power.NewRoom(power.RoomConfig{
+		Design:              power.Redundancy{X: 4, Y: 3},
+		UPSCapacity:         100 * power.KW,
+		PairsPerCombination: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// testRacks places one software-redundant and one cap-able rack per pair,
+// with IDs prefixed by room so rooms never collide.
+func testRacks(room string, topo *power.Topology) []controller.ManagedRack {
+	var racks []controller.ManagedRack
+	for _, p := range topo.Pairs {
+		racks = append(racks,
+			controller.ManagedRack{ID: fmt.Sprintf("%s-sr-%d", room, p.ID), Workload: "websearch",
+				Category: workload.SoftwareRedundant, Pair: p.ID,
+				Allocated: 10 * power.KW, FlexPower: 0},
+			controller.ManagedRack{ID: fmt.Sprintf("%s-cap-%d", room, p.ID), Workload: "vmservice",
+				Category: workload.NonRedundantCapable, Pair: p.ID,
+				Allocated: 10 * power.KW, FlexPower: 8 * power.KW},
+		)
+	}
+	return racks
+}
+
+// testRoomConfig assembles a RoomConfig with its own actuator.
+func testRoomConfig(t *testing.T, name string, clk clock.Clock) RoomConfig {
+	t.Helper()
+	topo := testTopo(t)
+	racks := testRacks(name, topo)
+	ids := make([]string, len(racks))
+	for i, r := range racks {
+		ids[i] = r.ID
+	}
+	return RoomConfig{
+		Name:        name,
+		Topo:        topo,
+		Racks:       racks,
+		Actuator:    rackmgr.NewManager(clk, ids),
+		Scenario:    impact.Realistic1(),
+		Stranded:    5 * power.KW,
+		Allocatable: 300 * power.KW,
+		Buffer:      power.KW,
+	}
+}
+
+// feed publishes a full telemetry round for the shard's room: the given
+// per-UPS powers plus every rack at its allocated draw.
+func feed(s *Shard, rc RoomConfig, at time.Time, ups []power.Watts) {
+	batch := make([]telemetry.Sample, len(ups))
+	for u := range ups {
+		batch[u] = telemetry.Sample{
+			Device: rc.Topo.UPSes[u].Name, Power: ups[u], Valid: true, MeasuredAt: at,
+		}
+	}
+	s.IngestUPS(batch)
+	rb := make([]telemetry.Sample, len(rc.Racks))
+	for i, r := range rc.Racks {
+		rb[i] = telemetry.Sample{Device: r.ID, Power: r.Allocated, Valid: true, MeasuredAt: at}
+	}
+	s.IngestRacks(rb)
+}
+
+func TestAddRoomValidation(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk})
+	rc := testRoomConfig(t, "room-1", clk)
+	if _, err := f.AddRoom(rc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddRoom(rc); err == nil {
+		t.Fatal("duplicate room accepted")
+	}
+	if _, err := f.AddRoom(RoomConfig{Topo: rc.Topo}); err == nil {
+		t.Fatal("nameless room accepted")
+	}
+	if _, err := f.AddRoom(RoomConfig{Name: "room-2"}); err == nil {
+		t.Fatal("topology-less room accepted")
+	}
+	if got := f.Rooms(); len(got) != 1 || got[0] != "room-1" {
+		t.Fatalf("Rooms() = %v, want [room-1]", got)
+	}
+	if f.Shard("room-1") == nil || f.Shard("nope") != nil {
+		t.Fatal("Shard lookup wrong")
+	}
+}
+
+func TestIngestRoutesToOwnShardOnly(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk})
+	rcA := testRoomConfig(t, "room-a", clk)
+	rcB := testRoomConfig(t, "room-b", clk)
+	a, _ := f.AddRoom(rcA)
+	b, _ := f.AddRoom(rcB)
+
+	if err := f.Ingest("room-a", telemetry.TopicUPS, []telemetry.Sample{
+		{Device: rcA.Topo.UPSes[0].Name, Power: 50 * power.KW, Valid: true, MeasuredAt: clk.Now()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ingest("nope", telemetry.TopicUPS, nil); err == nil {
+		t.Fatal("unknown room accepted")
+	}
+	if err := f.Ingest("room-a", "bogus", nil); err == nil {
+		t.Fatal("unknown topic kind accepted")
+	}
+	if n := a.Pump(); n != 1 {
+		t.Fatalf("room-a pumped %d, want 1", n)
+	}
+	if n := b.Pump(); n != 0 {
+		t.Fatalf("room-b pumped %d, want 0 (cross-shard leak)", n)
+	}
+	if _, _, ok := a.UPSView().Get(rcA.Topo.UPSes[0].Name); !ok {
+		t.Fatal("sample did not reach room-a view")
+	}
+}
+
+func TestShardShedsOnOverdraw(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk})
+	rc := testRoomConfig(t, "room-1", clk)
+	s, err := f.AddRoom(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UPS 0 failed (0W → inferred inactive); survivors at 120kW, 20kW over
+	// their 100kW rating.
+	clk.Advance(time.Second)
+	feed(s, rc, clk.Now(), []power.Watts{0, 120 * power.KW, 120 * power.KW, 120 * power.KW})
+	if n := s.Pump(); n == 0 {
+		t.Fatal("pump moved nothing")
+	}
+	overdraw, enforced, _ := s.StepContext(context.Background())
+	if !overdraw {
+		t.Fatal("overdraw not detected")
+	}
+	if enforced == 0 {
+		t.Fatal("no corrective actions enforced")
+	}
+	headroom, acted := s.committedHeadroom()
+	if headroom <= 0 || acted == 0 {
+		t.Fatalf("committed headroom %v over %d racks, want > 0", headroom, acted)
+	}
+}
+
+func TestAggregateSumsAndHealth(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	reg := obs.NewRegistry()
+	f := New(Config{Clock: clk, Obs: reg, AggregateEvery: 2 * time.Second})
+	rcA := testRoomConfig(t, "room-a", clk)
+	rcB := testRoomConfig(t, "room-b", clk)
+	rcB.Stranded = 7 * power.KW
+	a, _ := f.AddRoom(rcA)
+	b, _ := f.AddRoom(rcB)
+
+	clk.Advance(time.Second)
+	feed(a, rcA, clk.Now(), []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+	a.Pump()
+	// room-b gets no telemetry: it must report degraded, and the fleet
+	// verdict must be the worst shard.
+	snap := f.AggregateOnce(clk.Now())
+	if snap.StrandedPower != 12*power.KW {
+		t.Fatalf("fleet stranded = %v, want 12kW (5+7)", snap.StrandedPower)
+	}
+	if snap.AllocatablePower != 600*power.KW {
+		t.Fatalf("fleet allocatable = %v, want 600kW", snap.AllocatablePower)
+	}
+	if snap.Ready != 1 {
+		t.Fatalf("ready = %d, want 1", snap.Ready)
+	}
+	if snap.State != slo.StateDegraded {
+		t.Fatalf("fleet state = %v, want degraded (room-b has no telemetry)", snap.State)
+	}
+	var aSt, bSt *RoomStatus
+	for i := range snap.Rooms {
+		switch snap.Rooms[i].Name {
+		case "room-a":
+			aSt = &snap.Rooms[i]
+		case "room-b":
+			bSt = &snap.Rooms[i]
+		}
+	}
+	if aSt == nil || aSt.State != slo.StateReady {
+		t.Fatalf("room-a status = %+v, want ready", aSt)
+	}
+	if bSt == nil || bSt.State != slo.StateDegraded {
+		t.Fatalf("room-b status = %+v, want degraded", bSt)
+	}
+	_ = b
+	// Metrics exported on the fold.
+	if got := f.metrics.StrandedWatts.Value(); got != float64(12*power.KW) {
+		t.Fatalf("flex_fleet_stranded_watts = %v, want 12000", got)
+	}
+	if got := f.metrics.RoomState.With("room-b").Value(); got != float64(slo.StateDegraded) {
+		t.Fatalf("room-b state gauge = %v, want degraded", got)
+	}
+}
+
+func TestSnapshotStalenessDegrades(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk, AggregateEvery: 2 * time.Second})
+	rc := testRoomConfig(t, "room-1", clk)
+	s, _ := f.AddRoom(rc)
+	clk.Advance(time.Second)
+	feed(s, rc, clk.Now(), []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+	s.Pump()
+	if snap := f.AggregateOnce(clk.Now()); snap.State != slo.StateReady {
+		t.Fatalf("fresh fleet state = %v, want ready", snap.State)
+	}
+	if snap := f.Snapshot(); snap.State != slo.StateReady {
+		t.Fatalf("fresh Snapshot state = %v, want ready", snap.State)
+	}
+	// The aggregator stops folding; a stale global view must not read as
+	// healthy.
+	clk.Advance(10 * time.Second)
+	if snap := f.Snapshot(); snap.State != slo.StateDegraded {
+		t.Fatalf("stale Snapshot state = %v, want degraded", snap.State)
+	}
+}
+
+func TestStaleTelemetryDegradesRoom(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk, Freshness: 5 * time.Second})
+	rc := testRoomConfig(t, "room-1", clk)
+	s, _ := f.AddRoom(rc)
+	clk.Advance(time.Second)
+	feed(s, rc, clk.Now(), []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+	s.Pump()
+	clk.Advance(20 * time.Second)
+	snap := f.AggregateOnce(clk.Now())
+	if snap.Rooms[0].State != slo.StateDegraded {
+		t.Fatalf("room state = %v after 20s telemetry silence, want degraded", snap.Rooms[0].State)
+	}
+}
+
+func TestFleetHandler(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk})
+	rc := testRoomConfig(t, "room-1", clk)
+	s, _ := f.AddRoom(rc)
+	clk.Advance(time.Second)
+	feed(s, rc, clk.Now(), []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+	s.Pump()
+	f.AggregateOnce(clk.Now())
+
+	h := f.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad /fleet JSON: %v", err)
+	}
+	if len(snap.Rooms) != 1 || snap.Rooms[0].Name != "room-1" {
+		t.Fatalf("snapshot rooms = %+v", snap.Rooms)
+	}
+	if snap.StrandedPower != 5*power.KW {
+		t.Fatalf("stranded = %v, want 5kW", snap.StrandedPower)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet?room=room-1", nil))
+	var st RoomStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad /fleet?room JSON: %v", err)
+	}
+	if st.Name != "room-1" || st.State != slo.StateReady {
+		t.Fatalf("room status = %+v", st)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet?room=nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown room status = %d, want 404", rec.Code)
+	}
+}
+
+// TestShardIsolationUnderSaturation is the deterministic core of the
+// isolation property: one shard's ingest queue saturated far past its
+// depth (backpressure engaged, drops counted) while a concurrent UPS
+// failure on another shard is still detected and shed on the same virtual
+// clock — zero cross-shard stall.
+func TestShardIsolationUnderSaturation(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk, QueueDepth: 64})
+	rcHot := testRoomConfig(t, "room-hot", clk)
+	rcCold := testRoomConfig(t, "room-cold", clk)
+	hot, _ := f.AddRoom(rcHot)
+	cold, _ := f.AddRoom(rcCold)
+
+	clk.Advance(time.Second)
+	// Saturate room-hot: 100 full UPS rounds against a 64-deep queue with
+	// no pump draining it.
+	for i := 0; i < 100; i++ {
+		feed(hot, rcHot, clk.Now(), []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+	}
+	if hot.Dropped() == 0 {
+		t.Fatal("saturated shard dropped nothing; backpressure not engaged")
+	}
+	// Concurrently, room-cold has a UPS failure. Its queue, views, and
+	// controller share nothing with room-hot's.
+	feed(cold, rcCold, clk.Now(), []power.Watts{0, 120 * power.KW, 120 * power.KW, 120 * power.KW})
+	cold.Pump()
+	overdraw, enforced, _ := cold.StepContext(context.Background())
+	if !overdraw || enforced == 0 {
+		t.Fatalf("cold shard overdraw=%v enforced=%d under neighbor saturation, want detection and action",
+			overdraw, enforced)
+	}
+	if cold.Dropped() != 0 {
+		t.Fatalf("cold shard dropped %d samples, want 0", cold.Dropped())
+	}
+}
+
+// TestShardLifecycleConcurrent runs the goroutine lifecycle end to end —
+// Start on every shard, concurrent ingest, a running aggregator, Drain,
+// Stop — and is in the race-detector CI list.
+func TestShardLifecycleConcurrent(t *testing.T) {
+	clk := clock.Real{}
+	f := New(Config{Clock: clk, AggregateEvery: 5 * time.Millisecond})
+	const rooms = 4
+	rcs := make([]RoomConfig, rooms)
+	shards := make([]*Shard, rooms)
+	for i := range rcs {
+		rcs[i] = testRoomConfig(t, fmt.Sprintf("room-%d", i), clk)
+		rcs[i].Interval = time.Millisecond
+		s, err := f.AddRoom(rcs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = s
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, s := range shards {
+		if err := s.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := shards[0].Start(ctx); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	go f.RunAggregator(ctx)
+
+	// Concurrent publishers, one per room.
+	pubCtx, pubCancel := context.WithCancel(context.Background())
+	done := make(chan struct{}, rooms)
+	for i := range shards {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for {
+				select {
+				case <-pubCtx.Done():
+					return
+				default:
+				}
+				feed(shards[i], rcs[i], time.Now(), []power.Watts{
+					50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond)
+	pubCancel()
+	for i := 0; i < rooms; i++ {
+		<-done
+	}
+
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer drainCancel()
+	if err := shards[0].Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, s := range shards[1:] {
+		s.Stop()
+	}
+	cancel()
+	for _, s := range shards {
+		if s.Pumped() == 0 {
+			t.Fatalf("shard %s pumped nothing", s.Name)
+		}
+	}
+	// Post-drain ingest must be a silent no-op.
+	feed(shards[0], rcs[0], time.Now(), []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+	if n := shards[0].Pump(); n != 0 {
+		t.Fatalf("drained shard pumped %d new samples, want 0", n)
+	}
+}
+
+// TestDrainWithoutStart drains a never-started shard synchronously.
+func TestDrainWithoutStart(t *testing.T) {
+	clk := clock.NewVirtual(t0())
+	f := New(Config{Clock: clk})
+	rc := testRoomConfig(t, "room-1", clk)
+	s, _ := f.AddRoom(rc)
+	clk.Advance(time.Second)
+	feed(s, rc, clk.Now(), []power.Watts{50 * power.KW, 50 * power.KW, 50 * power.KW, 50 * power.KW})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pumped() == 0 {
+		t.Fatal("drain did not process buffered samples")
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	s.Stop() // idempotent after drain
+}

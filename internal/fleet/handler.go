@@ -1,0 +1,29 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns the /fleet endpoint: the latest aggregated snapshot as
+// JSON, with ?room=NAME narrowing to one room's status. Mount it on the
+// obs surface via obs.ServerConfig.Fleet.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := f.Snapshot()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if room := r.URL.Query().Get("room"); room != "" {
+			for i := range snap.Rooms {
+				if snap.Rooms[i].Name == room {
+					_ = enc.Encode(snap.Rooms[i])
+					return
+				}
+			}
+			http.Error(w, "unknown room "+room, http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(snap)
+	})
+}

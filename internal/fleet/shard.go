@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"flex/internal/controller"
+	"flex/internal/telemetry"
+)
+
+// Shard is one room's slice of the fleet: its own telemetry views and
+// bounded ingest queues, its own controller primaries, its own loop. A
+// shard shares no locks with its siblings on the ingest or step paths —
+// the isolation property the fleet exists to provide.
+type Shard struct {
+	// Name is the room name.
+	Name string
+
+	fleet     *Fleet
+	cfg       RoomConfig
+	upsTopic  string
+	rackTopic string
+	upsSub    *telemetry.Subscription
+	rackSub   *telemetry.Subscription
+	upsView   *telemetry.LatestPower
+	rackView  *telemetry.LatestPower
+	ctls      []*controller.Controller
+	buf       []telemetry.Sample
+
+	mu       sync.Mutex
+	running  bool
+	stopped  bool
+	draining bool
+	drainCh  chan struct{}
+	cancel   context.CancelFunc
+	done     chan struct{}
+	pumped   uint64
+	steps    uint64
+}
+
+func newShard(f *Fleet, rc RoomConfig) *Shard {
+	s := &Shard{
+		Name:      rc.Name,
+		fleet:     f,
+		cfg:       rc,
+		upsTopic:  telemetry.TopicUPS + "/" + rc.Name,
+		rackTopic: telemetry.TopicRack + "/" + rc.Name,
+		upsView:   telemetry.NewLatestPower(),
+		rackView:  telemetry.NewLatestPower(),
+		buf:       make([]telemetry.Sample, 256),
+		drainCh:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	s.upsSub = f.broker.Subscribe(s.upsTopic, f.cfg.QueueDepth)
+	s.rackSub = f.broker.Subscribe(s.rackTopic, f.cfg.QueueDepth)
+	var ctlMetrics *controller.Metrics
+	if f.cfg.Obs != nil {
+		// One registry-wide metrics instance: the fleet's controller
+		// counters and latency histograms aggregate across shards, the
+		// same way a room's aggregate across primaries.
+		ctlMetrics = controller.NewMetrics(f.cfg.Obs)
+	}
+	s.ctls = make([]*controller.Controller, rc.Controllers)
+	for i := range s.ctls {
+		s.ctls[i] = controller.New(controller.Config{
+			Name:       fmt.Sprintf("%s/ctl-%d", rc.Name, i+1),
+			Clock:      f.cfg.Clock,
+			Topo:       rc.Topo,
+			Racks:      rc.Racks,
+			UPSView:    s.upsView,
+			RackView:   s.rackView,
+			Actuator:   rc.Actuator,
+			Scenario:   rc.Scenario,
+			Buffer:     rc.Buffer,
+			Interval:   rc.Interval,
+			PlanBudget: rc.PlanBudget,
+			Metrics:    ctlMetrics,
+			Recorder:   f.cfg.Recorder,
+		})
+	}
+	return s
+}
+
+// IngestUPS publishes a batch of UPS samples onto the shard's bounded
+// ingest queue. Never blocks: a full queue drops its oldest samples
+// (counted via Dropped) — backpressure is absorbed here, at this shard,
+// and nowhere else.
+//
+//flex:hotpath
+func (s *Shard) IngestUPS(batch []telemetry.Sample) {
+	s.fleet.broker.PublishBatch(s.upsTopic, batch)
+}
+
+// IngestRacks publishes a batch of rack samples onto the shard's bounded
+// ingest queue with the same drop-oldest semantics as IngestUPS.
+//
+//flex:hotpath
+func (s *Shard) IngestRacks(batch []telemetry.Sample) {
+	s.fleet.broker.PublishBatch(s.rackTopic, batch)
+}
+
+// Pump drains the shard's ingest queues into its telemetry views and
+// returns how many samples it moved. The emulator and tests call it
+// directly for deterministic schedules; Start's loop calls it each round.
+func (s *Shard) Pump() int {
+	n := 0
+	for {
+		k := s.upsSub.RecvBatch(s.buf)
+		for i := 0; i < k; i++ {
+			s.upsView.Update(s.buf[i])
+		}
+		n += k
+		if k < len(s.buf) {
+			break
+		}
+	}
+	for {
+		k := s.rackSub.RecvBatch(s.buf)
+		for i := 0; i < k; i++ {
+			s.rackView.Update(s.buf[i])
+		}
+		n += k
+		if k < len(s.buf) {
+			break
+		}
+	}
+	if n > 0 {
+		s.mu.Lock()
+		s.pumped += uint64(n)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// StepContext runs one evaluation round on every controller primary and
+// reports the aggregate: whether any primary saw an overdraw, and how many
+// actions were enforced and racks restored across them.
+func (s *Shard) StepContext(ctx context.Context) (overdraw bool, enforced, restored int) {
+	for _, c := range s.ctls {
+		out := c.StepContext(ctx)
+		overdraw = overdraw || out.Overdraw
+		enforced += out.Enforced
+		restored += out.Restored
+	}
+	s.mu.Lock()
+	s.steps++
+	s.mu.Unlock()
+	return overdraw, enforced, restored
+}
+
+// Start launches the shard's loop: pump, step, sleep Interval on the
+// fleet clock, until Stop, Drain, or ctx cancellation. Each shard loop is
+// its own goroutine; a stalled or saturated shard never blocks another.
+func (s *Shard) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return fmt.Errorf("fleet: shard %s already stopped", s.Name)
+	}
+	if s.running {
+		return fmt.Errorf("fleet: shard %s already running", s.Name)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	s.running = true
+	s.cancel = cancel
+	go s.run(runCtx)
+	return nil
+}
+
+func (s *Shard) run(ctx context.Context) {
+	defer close(s.done)
+	interval := s.cfg.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	for {
+		s.Pump()
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.drainCh:
+			// Drain: the queues are closed to new samples; move what is
+			// still buffered, take one final corrective look, and exit.
+			s.Pump()
+			s.StepContext(ctx)
+			return
+		default:
+		}
+		s.StepContext(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.drainCh:
+			s.Pump()
+			s.StepContext(ctx)
+			return
+		case <-s.fleet.cfg.Clock.After(interval):
+		}
+	}
+}
+
+// Drain gracefully retires the shard: its ingest queues stop accepting
+// samples (publishers are unaffected — their batches fall on closed
+// subscriptions), buffered samples are processed, and one final step runs.
+// Blocks until the loop exits or ctx expires. Safe to call on a shard
+// that was never started; it then drains synchronously.
+func (s *Shard) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+		s.upsSub.Close()
+		s.rackSub.Close()
+	}
+	running := s.running
+	s.mu.Unlock()
+	if !running {
+		s.Pump()
+		s.StepContext(ctx)
+		s.markStopped()
+		return nil
+	}
+	select {
+	case <-s.done:
+		s.markStopped()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: drain %s: %w", s.Name, ctx.Err())
+	}
+}
+
+// Stop halts the shard immediately: the loop is cancelled without a final
+// pump, and the ingest queues close. Buffered samples are discarded.
+func (s *Shard) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	cancel, running := s.cancel, s.running
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+		s.upsSub.Close()
+		s.rackSub.Close()
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if running {
+		<-s.done
+	}
+	s.markStopped()
+}
+
+func (s *Shard) markStopped() {
+	s.mu.Lock()
+	s.stopped = true
+	s.running = false
+	s.mu.Unlock()
+}
+
+// Dropped reports how many samples this shard's ingest queues have
+// evicted under backpressure.
+func (s *Shard) Dropped() int {
+	return s.upsSub.Dropped() + s.rackSub.Dropped()
+}
+
+// Pumped reports how many samples the shard has moved into its views.
+func (s *Shard) Pumped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pumped
+}
+
+// Steps reports how many evaluation rounds the shard has run.
+func (s *Shard) Steps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// UPSView exposes the shard's UPS telemetry view (for audit bindings).
+func (s *Shard) UPSView() *telemetry.LatestPower { return s.upsView }
+
+// RackView exposes the shard's rack telemetry view.
+func (s *Shard) RackView() *telemetry.LatestPower { return s.rackView }
+
+// Controllers exposes the shard's controller primaries.
+func (s *Shard) Controllers() []*controller.Controller { return s.ctls }
+
+// committedHeadroom is the power the shard's enforced-and-unrestored
+// actions have recovered. Multi-primary instances act idempotently on the
+// same racks, so the fold dedups by rack (taking the largest claim) rather
+// than summing across primaries.
+func (s *Shard) committedHeadroom() (watts float64, racks int) {
+	byRack := make(map[string]float64)
+	for _, c := range s.ctls {
+		actions, _ := c.CommittedActions()
+		for _, a := range actions {
+			if w := float64(a.Recovered); w > byRack[a.Rack] {
+				byRack[a.Rack] = w
+			}
+		}
+	}
+	for _, w := range byRack {
+		watts += w
+	}
+	return watts, len(byRack)
+}
+
+// openEpisode reports whether any primary has an open overdraw episode
+// and the earliest time one was detected.
+func (s *Shard) openEpisode() (open bool, since time.Time) {
+	for _, c := range s.ctls {
+		if _, at, ok := c.OpenEpisode(); ok {
+			if !open || at.Before(since) {
+				since = at
+			}
+			open = true
+		}
+	}
+	return open, since
+}

@@ -29,6 +29,10 @@ type ServerConfig struct {
 	Query  http.Handler
 	SLO    http.Handler
 	Health http.Handler
+	// Fleet is optional, mounted at /fleet: the fleet aggregator's latest
+	// snapshot (fleet.Fleet.Handler). Same http.Handler indirection as
+	// Query/SLO/Health — the fleet package imports obs.
+	Fleet http.Handler
 }
 
 // NewHandler returns the live introspection surface:
@@ -48,6 +52,8 @@ type ServerConfig struct {
 //	/query         tsdb series queries (when ServerConfig.Query is wired)
 //	/slo           SLO burn rates and probe state (when SLO is wired)
 //	/healthz       ready/degraded/unsafe verdict (when Health is wired)
+//	/fleet         fleet aggregator snapshot (when Fleet is wired);
+//	               ?room=NAME narrows to one room's status
 //
 // Mount it behind an opt-in -listen flag; the handler itself performs no
 // authentication.
@@ -68,6 +74,9 @@ func NewHandler(cfg ServerConfig) http.Handler {
 		}
 		if cfg.Health != nil {
 			index += "  /healthz\n"
+		}
+		if cfg.Fleet != nil {
+			index += "  /fleet\n"
 		}
 		_, _ = w.Write([]byte(index))
 	})
@@ -121,6 +130,9 @@ func NewHandler(cfg ServerConfig) http.Handler {
 	}
 	if cfg.Health != nil {
 		mux.Handle("/healthz", cfg.Health)
+	}
+	if cfg.Fleet != nil {
+		mux.Handle("/fleet", cfg.Fleet)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

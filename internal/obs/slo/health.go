@@ -38,6 +38,15 @@ func (s State) String() string {
 	}
 }
 
+// Worst returns the more severe of two states — the fold the fleet
+// aggregator uses to lift per-shard verdicts into a fleet verdict.
+func Worst(a, b State) State {
+	if b > a {
+		return b
+	}
+	return a
+}
+
 // MarshalJSON renders the state name.
 func (s State) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + s.String() + `"`), nil

@@ -22,6 +22,10 @@ type Metrics struct {
 	ConsensusDisagreements *obs.Counter
 	// DroppedSamples counts samples evicted from slow subscriber buffers.
 	DroppedSamples *obs.Counter
+	// BatchPublishes counts PublishBatch calls (a single Publish is a
+	// batch of one); SamplesPublished / BatchPublishes is the observed
+	// batching factor of the ingest path.
+	BatchPublishes *obs.Counter
 	// DedupeHits counts duplicate samples suppressed on the redundant
 	// poller × broker paths.
 	DedupeHits *obs.Counter
@@ -40,6 +44,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		ConsensusDisagreements: r.Counter("flex_telemetry_consensus_disagreements_total",
 			"logical meter reads with physical meters spread beyond the disagreement threshold"),
 		DroppedSamples: r.Counter("flex_telemetry_dropped_samples_total", "samples evicted from slow subscriber buffers"),
+		BatchPublishes: r.Counter("flex_telemetry_batch_publishes_total", "PublishBatch calls (single publishes count as batches of one)"),
 		DedupeHits:     r.Counter("flex_telemetry_dedupe_hits_total", "duplicate samples suppressed from redundant paths"),
 		PublishLag: r.Histogram("flex_telemetry_publish_lag_seconds",
 			"seconds from sample measurement to subscriber view update",

@@ -39,6 +39,10 @@ type Poller struct {
 	seq   map[string]uint64
 	down  bool
 	polls int
+	// batch is the reusable per-round publish buffer; PollOnce flushes it
+	// to every broker with one PublishBatch per topic run, so steady-state
+	// rounds reuse the same backing array.
+	batch []Sample
 }
 
 // NewPoller constructs a poller. Interval defaults to 1.5 seconds (the
@@ -57,9 +61,12 @@ func NewPoller(name string, clk clock.Clock, interval time.Duration, brokers []S
 	}
 }
 
-// PollOnce reads every target once and publishes the samples. It is the
-// unit of work Run repeats; tests and the emulator drive it directly for
-// deterministic schedules.
+// PollOnce reads every target once and publishes the samples, batched:
+// consecutive targets on the same topic accumulate into one buffer that
+// is handed to every broker with a single PublishBatch call — one lock
+// acquisition per broker per topic run instead of one per device. It is
+// the unit of work Run repeats; tests and the emulator drive it directly
+// for deterministic schedules.
 func (p *Poller) PollOnce() {
 	p.mu.Lock()
 	if p.down {
@@ -72,7 +79,25 @@ func (p *Poller) PollOnce() {
 		p.Metrics.Polls.Inc()
 	}
 	now := p.Clock.Now()
+	p.batch = p.batch[:0]
+	topic := ""
+	flush := func() {
+		if len(p.batch) == 0 {
+			return
+		}
+		for _, b := range p.Brokers {
+			b.PublishBatch(topic, p.batch)
+			if p.Metrics != nil {
+				p.Metrics.SamplesPublished.Add(uint64(len(p.batch)))
+			}
+		}
+		p.batch = p.batch[:0]
+	}
 	for _, t := range p.Targets {
+		if t.Topic != topic {
+			flush()
+			topic = t.Topic
+		}
 		v, err := t.Meter.Read(now)
 		if p.Metrics != nil && err != nil {
 			p.Metrics.InvalidReads.Inc()
@@ -99,13 +124,9 @@ func (p *Poller) PollOnce() {
 				Aux:     valid,
 			})
 		}
-		for _, b := range p.Brokers {
-			b.Publish(t.Topic, s)
-			if p.Metrics != nil {
-				p.Metrics.SamplesPublished.Inc()
-			}
-		}
+		p.batch = append(p.batch, s)
 	}
+	flush()
 }
 
 func (p *Poller) nextSeq(device string) uint64 {

@@ -50,6 +50,30 @@ func (s *Subscription) Dropped() int {
 	return s.dropped
 }
 
+// RecvBatch drains up to len(buf) buffered samples into buf without
+// blocking and returns how many it copied. It is the batch counterpart of
+// reading s.C one sample at a time: a consumer that fell behind catches up
+// in one call instead of len(buf) scheduler round-trips. A closed
+// subscription drains its remaining buffer, then keeps returning 0.
+//
+//flex:hotpath
+func (s *Subscription) RecvBatch(buf []Sample) int {
+	n := 0
+	for n < len(buf) {
+		select {
+		case smp, ok := <-s.C:
+			if !ok {
+				return n
+			}
+			buf[n] = smp
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
 // Close unsubscribes.
 func (s *Subscription) Close() {
 	s.broker.unsubscribe(s.topic, s)
@@ -109,20 +133,37 @@ func (b *Broker) unsubscribe(topic string, sub *Subscription) {
 	}
 }
 
-// Publish fans a sample out to all of topic's subscribers. When a
-// subscriber's buffer is full the oldest sample is dropped. Publishing on
-// a downed broker is a silent no-op (that is the failure the duplicated
+// Publish fans one sample out to all of topic's subscribers. It is a
+// documented single-element wrapper over PublishBatch, the primary ingest
+// path: the sample is wrapped in a stack-backed one-element batch, so the
+// wrapper stays allocation-free (the AllocsPerRun tests pin both entry
+// points at zero).
+//
+//flex:hotpath
+func (b *Broker) Publish(topic string, s Sample) {
+	one := [1]Sample{s}
+	b.PublishBatch(topic, one[:])
+}
+
+// PublishBatch fans a batch of samples out to all of topic's subscribers
+// under a single lock acquisition — the primary ingest path. When a
+// subscriber's buffer is full the oldest sample is dropped (stale power
+// data is worthless to Flex, fresh data is everything). Publishing on a
+// downed broker is a silent no-op (that is the failure the duplicated
 // broker masks).
 //
 // The fan-out runs with b.mu held, iterating the subscriber list in
 // place: every send and drop-recv is non-blocking (drop-oldest), so the
-// critical section is bounded and Publish allocates nothing — it sits on
-// the poller hot path, once per device per poll. Subscription locks nest
-// under the broker lock (b.mu -> sub.mu); nothing acquires them in the
-// reverse order.
+// critical section is bounded by len(batch)×subscribers and PublishBatch
+// allocates nothing — it sits on the poller and fleet-ingest hot paths.
+// Subscription locks nest under the broker lock (b.mu -> sub.mu); nothing
+// acquires them in the reverse order.
 //
 //flex:hotpath
-func (b *Broker) Publish(topic string, s Sample) {
+func (b *Broker) PublishBatch(topic string, batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
 	b.mu.Lock()
 	if b.down {
 		b.mu.Unlock()
@@ -135,35 +176,42 @@ func (b *Broker) Publish(topic string, s Sample) {
 			sub.mu.Unlock()
 			continue
 		}
-		for {
-			select {
-			case sub.C <- s:
-			default:
+		for _, s := range batch {
+			for {
 				select {
-				case <-sub.C:
-					sub.dropped++
-					dropped++
-					if b.Metrics != nil {
-						b.Metrics.DroppedSamples.Inc()
-					}
+				case sub.C <- s:
 				default:
+					select {
+					case <-sub.C:
+						sub.dropped++
+						dropped++
+						if b.Metrics != nil {
+							b.Metrics.DroppedSamples.Inc()
+						}
+					default:
+					}
+					continue
 				}
-				continue
+				break
 			}
-			break
 		}
 		sub.mu.Unlock()
 	}
 	b.mu.Unlock()
-	// One aggregated drop event per publish, emitted after every lock is
-	// released (eventcheck: no emission under a held mutex).
+	if b.Metrics != nil {
+		b.Metrics.BatchPublishes.Inc()
+	}
+	// One aggregated drop event per batch, attributed to the newest sample
+	// and emitted after every lock is released (eventcheck: no emission
+	// under a held mutex).
 	if dropped > 0 && b.Recorder != nil {
+		last := batch[len(batch)-1]
 		b.Recorder.Emit(recorder.Event{
 			Type:    recorder.TypeSampleDrop,
-			Time:    s.MeasuredAt,
+			Time:    last.MeasuredAt,
 			Actor:   b.Name,
-			Subject: s.Device,
-			Cause:   s.Event,
+			Subject: last.Device,
+			Cause:   last.Event,
 			Aux:     int64(dropped),
 		})
 	}

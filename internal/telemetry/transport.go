@@ -17,10 +17,17 @@ import (
 // the pollers, pub/sub systems, and Flex controllers sit on separate
 // fault domains (paper Figure 7).
 type SamplePublisher interface {
+	// Publish delivers one sample. It is the single-element convenience
+	// form of PublishBatch.
 	Publish(topic string, s Sample)
+	// PublishBatch delivers a batch of samples in one call — the primary
+	// ingest path. Implementations amortize per-call overhead (one lock
+	// acquisition, one connection write) across the batch.
+	PublishBatch(topic string, batch []Sample)
 }
 
 var _ SamplePublisher = (*Broker)(nil)
+var _ SamplePublisher = (*RemotePublisher)(nil)
 
 // wire messages. A connection opens with a hello declaring its role.
 type wireHello struct {
@@ -167,6 +174,21 @@ func NewRemotePublisher(addr string, clk clock.Clock) *RemotePublisher {
 func (p *RemotePublisher) Publish(topic string, s Sample) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.publishLocked(topic, s)
+}
+
+// PublishBatch implements SamplePublisher: the whole batch streams out
+// under one lock acquisition, so concurrent publishers interleave between
+// batches rather than between samples.
+func (p *RemotePublisher) PublishBatch(topic string, batch []Sample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range batch {
+		p.publishLocked(topic, s)
+	}
+}
+
+func (p *RemotePublisher) publishLocked(topic string, s Sample) {
 	if p.conn == nil && !p.reconnectLocked() {
 		return
 	}
