@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race cover bench bench-solver bench-obs bench-fleet figures fuzz examples replay-smoke slo-smoke fleet-smoke ci clean
+.PHONY: all build vet lint lint-json test race cover bench bench-solver bench-obs bench-fleet bench-online figures fuzz examples replay-smoke slo-smoke fleet-smoke online-smoke ci clean
 
 all: build vet lint test
 
@@ -53,14 +53,24 @@ slo-smoke:
 fleet-smoke:
 	$(GO) run ./cmd/flexsim -experiment fleet -rooms 10
 
+# Runs the online-placement acceptance check (ISSUE 9) on the §V-C
+# emulation trace: the online admitter must produce a safe placement
+# (zero Eq. 2 / Eq. 4 violations) whose stranded power is within 10
+# percentage points of the Flex-Offline optimum. Re-solves run inline, so
+# the check is deterministic; flexplace exits non-zero on any violation.
+online-smoke:
+	$(GO) run ./cmd/flexplace -smoke
+
 # What CI runs (.github/workflows/ci.yml): the full gate plus a race pass
 # over the concurrent packages (./internal/obs/... covers obs/tsdb and
 # obs/slo; ./internal/fleet covers the shard lifecycle and isolation
-# stress), a flexmon smoke run with the observability surface enabled,
-# the record→replay determinism check, the SLO smoke episode, and the
-# fleet smoke emulation.
-ci: build vet lint test replay-smoke slo-smoke fleet-smoke
-	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/obs/... ./internal/replay/... ./internal/milp/... ./internal/lp/... ./internal/fleet/... ./internal/emu/...
+# stress; ./internal/placement/online covers the admitter's concurrent
+# admit/remove against the background resolver), a flexmon smoke run with
+# the observability surface enabled, the record→replay determinism check,
+# the SLO smoke episode, the fleet smoke emulation, and the
+# online-placement acceptance smoke.
+ci: build vet lint test replay-smoke slo-smoke fleet-smoke online-smoke
+	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/obs/... ./internal/replay/... ./internal/milp/... ./internal/lp/... ./internal/fleet/... ./internal/emu/... ./internal/placement/online/
 	$(GO) run ./cmd/flexmon -quick -metrics -listen 127.0.0.1:0
 
 cover:
@@ -90,6 +100,22 @@ bench-solver:
 bench-obs:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x ./internal/obs/tsdb/ ./internal/obs/slo/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json
 	@echo wrote BENCH_obs.json
+
+# Records the online-placement baseline (BenchmarkOnlinePlacement):
+#   admit        — hot-path decision throughput on the full 9.6MW paper
+#                  room; must stay ≥ 1000 decisions/s (the benchmark
+#                  itself fails below) at 0 allocs/op.
+#   stranded-gap — stranded power of the online policy minus the
+#                  FlexOffline optimum on the §V-C trace, in percentage
+#                  points (gap-pp); must stay ≤ 10pp.
+# Track the quality metrics across changes with either:
+#   $(GO) run ./cmd/benchjson -compare BENCH_online.json BENCH_online.new.json
+# or the benchstat recipe shared by every bench target:
+#   go test -run '^$$' -bench BenchmarkOnlinePlacement -benchmem -benchtime 2000x ./internal/placement/online/ > new.txt
+#   $(GO) run ./cmd/benchjson -restore BENCH_online.json | benchstat /dev/stdin new.txt
+bench-online:
+	$(GO) test -run '^$$' -bench BenchmarkOnlinePlacement -benchmem -benchtime 2000x ./internal/placement/online/ | $(GO) run ./cmd/benchjson -o BENCH_online.json
+	@echo wrote BENCH_online.json
 
 # Records the fleet-scaling baseline (BenchmarkFleetDetectToShed: the
 # detect→shed latency of a UPS failure with 1/10/100 rooms riding on one

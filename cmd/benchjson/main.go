@@ -5,6 +5,12 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_baseline.json
 //	benchjson -restore BENCH_baseline.json | benchstat old.txt /dev/stdin
+//
+// Two baselines can be diffed directly — every metric of every benchmark
+// present in both files, old vs new with the delta (this is how the
+// stranded-power gap-pp of BENCH_online.json is tracked across runs):
+//
+//	benchjson -compare BENCH_online.json BENCH_online.new.json
 package main
 
 import (
@@ -13,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,8 +56,20 @@ func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	restore := flag.String("restore", "", "read a baseline JSON file and print the original benchmark text")
 	speedup := flag.String("speedup", "", "read a baseline JSON file and print each record's nodes/s relative to the serial record")
+	compare := flag.Bool("compare", false, "compare two baseline JSON files (old new): print old/new/delta per metric")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two baseline files (old new)")
+			os.Exit(1)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *restore != "" {
 		if err := restoreText(*restore, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -197,6 +217,74 @@ func speedupTable(path string, w io.Writer) error {
 	}
 	if printed == 0 {
 		return fmt.Errorf("no nodes/s records in %s", path)
+	}
+	return nil
+}
+
+// compareFiles diffs two baselines: for every benchmark present in both
+// (matched on Pkg+Name), every metric present in both is printed as
+// old → new with the absolute and relative delta. Benchmarks or metrics
+// present in only one file are listed, not silently dropped. This is the
+// quality-tracking view of BENCH_online.json: the stranded-power gap-pp
+// row shows whether a change moved the online policy closer to or
+// further from the FlexOffline optimum.
+func compareFiles(oldPath, newPath string, w io.Writer) error {
+	load := func(path string) (*Baseline, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &b, nil
+	}
+	oldB, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	key := func(r Record) string { return r.Pkg + " " + r.Name }
+	oldByKey := map[string]Record{}
+	for _, r := range oldB.Benchmarks {
+		oldByKey[key(r)] = r
+	}
+	matched := map[string]bool{}
+	for _, nr := range newB.Benchmarks {
+		or, ok := oldByKey[key(nr)]
+		if !ok {
+			fmt.Fprintf(w, "%-50s only in %s\n", nr.Name, newPath)
+			continue
+		}
+		matched[key(nr)] = true
+		units := make([]string, 0, len(or.Metrics))
+		for unit := range or.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov := or.Metrics[unit]
+			nv, ok := nr.Metrics[unit]
+			if !ok {
+				fmt.Fprintf(w, "%-50s %-14s only in %s\n", nr.Name, unit, oldPath)
+				continue
+			}
+			rel := ""
+			if math.Abs(ov) > 1e-12 {
+				rel = fmt.Sprintf(" (%+.1f%%)", (nv-ov)/ov*100)
+			}
+			fmt.Fprintf(w, "%-50s %-14s %14.4g -> %14.4g  %+.4g%s\n",
+				nr.Name, unit, ov, nv, nv-ov, rel)
+		}
+	}
+	for _, or := range oldB.Benchmarks {
+		if !matched[key(or)] {
+			fmt.Fprintf(w, "%-50s only in %s\n", or.Name, oldPath)
+		}
 	}
 	return nil
 }

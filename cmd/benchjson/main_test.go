@@ -188,6 +188,68 @@ func TestSpeedupTable(t *testing.T) {
 	}
 }
 
+const onlineOld = `goos: linux
+pkg: flex/internal/placement/online
+BenchmarkOnlinePlacement/admit-8          2000	 19042 ns/op	 52515 decisions/s	 0 allocs/op
+BenchmarkOnlinePlacement/stranded-gap-8   2000	259042 ns/op	 7.750 gap-pp
+PASS
+`
+
+const onlineNew = `goos: linux
+pkg: flex/internal/placement/online
+BenchmarkOnlinePlacement/admit-8          2000	 15000 ns/op	 60000 decisions/s	 0 allocs/op
+BenchmarkOnlinePlacement/stranded-gap-8   2000	250000 ns/op	 5.500 gap-pp
+BenchmarkOnlinePlacement/extra-8          2000	  1000 ns/op
+PASS
+`
+
+// TestCompareFiles: the -compare view diffs every shared metric of every
+// shared benchmark and reports one-sided records instead of dropping
+// them — the stranded-power gap-pp row of BENCH_online.json is the
+// motivating use.
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) string {
+		b, err := parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", onlineOld)
+	newPath := write("new.json", onlineNew)
+	var out bytes.Buffer
+	if err := compareFiles(oldPath, newPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"gap-pp",
+		"-2.25",    // 5.5 - 7.75 gap-pp delta
+		"+7485",    // 60000 - 52515 decisions/s delta
+		"(-29.0%)", // gap-pp relative change
+		"only in",  // the one-sided extra-8 record
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCompareFilesMissing(t *testing.T) {
+	if err := compareFiles("/nonexistent/a.json", "/nonexistent/b.json", io.Discard); err == nil {
+		t.Fatal("want error for missing files")
+	}
+}
+
 func TestSpeedupTableNoSerial(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "empty.json")

@@ -8,6 +8,16 @@
 //	flexplace [-traces N] [-seed S] [-nodes N] [-workers N] [-maxdep R]
 //	          [-srshare F] [-reserve F] [-oversub F] [-in trace.json]
 //	          [-out trace.json] [-csvout rows.csv]
+//	          [-policy all|random|brr|short|long|oracle|online] [-room paper|emulation]
+//	flexplace -smoke
+//
+// -policy online runs the online incremental admitter (ROADMAP item 2):
+// one deployment at a time on an allocation-free hot path, with a warm
+// background ILP re-solve (run synchronously here so results are
+// reproducible). -smoke runs the online-smoke acceptance check on the
+// §V-C emulation trace: the placement must validate (zero Eq. 2 / Eq. 4
+// violations) and strand at most 10 percentage points more power than
+// the Flex-Offline optimum; exits non-zero otherwise.
 package main
 
 import (
@@ -42,11 +52,22 @@ func run(args []string, out io.Writer) error {
 	traceIn := fs.String("in", "", "read the demand trace from this JSON file instead of generating one")
 	traceOut := fs.String("out", "", "write the generated demand trace to this JSON file")
 	csvOut := fs.String("csvout", "", "also write the Figure 9/10 rows as CSV to this file")
+	policy := fs.String("policy", "all", "policy to evaluate: all, random, rr, brr, firstfit, short, long, oracle, online")
+	roomKind := fs.String("room", "paper", "room to place into: paper (§V-A, 9.6MW) or emulation (§V-C, 4.8MW)")
+	smoke := fs.Bool("smoke", false, "run the online-smoke acceptance check on the §V-C trace and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *smoke {
+		return runOnlineSmoke(out, *seed, *nodes, *workers)
+	}
 
 	room := flex.PaperRoom()
+	if *roomKind == "emulation" {
+		room = flex.EmulationRoom()
+	} else if *roomKind != "paper" {
+		return fmt.Errorf("unknown -room %q (want paper or emulation)", *roomKind)
+	}
 	if *reserve != 1.0 {
 		r, err := flex.NewPlacementRoom(room.Topo, flex.WithSlotsPerPair(60), flex.WithReserveUtilization(*reserve))
 		if err != nil {
@@ -99,10 +120,33 @@ func run(args []string, out io.Writer) error {
 	short, long, oracle := flex.FlexOfflineShort(), flex.FlexOfflineLong(), flex.FlexOfflineOracle()
 	short.MaxNodes, long.MaxNodes, oracle.MaxNodes = *nodes/2, *nodes, *nodes*2
 	short.Workers, long.Workers, oracle.Workers = *workers, *workers, *workers
-	policies := []flex.Policy{
-		flex.RandomPolicy{Seed: *seed},
-		flex.BalancedRoundRobinPolicy{},
-		short, long, oracle,
+	online := flex.NewOnlinePlacement(flex.WithPlacementSeed(*seed), flex.WithSyncResolve())
+	var policies []flex.Policy
+	switch *policy {
+	case "all":
+		policies = []flex.Policy{
+			flex.RandomPolicy{Seed: *seed},
+			flex.BalancedRoundRobinPolicy{},
+			short, long, oracle, online,
+		}
+	case "random":
+		policies = []flex.Policy{flex.RandomPolicy{Seed: *seed}}
+	case "rr":
+		policies = []flex.Policy{flex.RoundRobinPolicy{}}
+	case "brr":
+		policies = []flex.Policy{flex.BalancedRoundRobinPolicy{}}
+	case "firstfit":
+		policies = []flex.Policy{flex.FirstFitPolicy{}}
+	case "short":
+		policies = []flex.Policy{short}
+	case "long":
+		policies = []flex.Policy{long}
+	case "oracle":
+		policies = []flex.Policy{oracle}
+	case "online":
+		policies = []flex.Policy{online}
+	default:
+		return fmt.Errorf("unknown -policy %q", *policy)
 	}
 
 	fmt.Fprintf(out, "Room: %v provisioned, %v design, %d PDU-pairs, %d traces\n\n",
@@ -143,6 +187,57 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\nwrote %s\n", *csvOut)
+	}
+	return nil
+}
+
+// runOnlineSmoke is the `make online-smoke` acceptance check (ISSUE 9):
+// the online policy on the §V-C emulation trace must produce a safe
+// placement — zero Eq. 2 normal-operation violations, zero Eq. 4
+// failover violations — and strand at most 10 percentage points more
+// power than the Flex-Offline optimum. Re-solves run synchronously, so
+// the check is deterministic for a fixed seed.
+func runOnlineSmoke(out io.Writer, seed int64, nodes, workers int) error {
+	room := flex.EmulationRoom()
+	trace, err := flex.GenerateTrace(flex.DefaultTraceConfig(room.Topo.ProvisionedPower()), seed)
+	if err != nil {
+		return err
+	}
+	online := flex.NewOnlinePlacement(flex.WithPlacementSeed(seed), flex.WithSyncResolve())
+	onp, err := online.Place(context.Background(), room, trace)
+	if err != nil {
+		return fmt.Errorf("online placement: %w", err)
+	}
+	if err := onp.Validate(); err != nil {
+		return fmt.Errorf("online placement unsafe: %w", err)
+	}
+	// Validate covers Eq. 2 as part of the full safety re-check; count the
+	// violations explicitly anyway, since "zero Eq. 2 violations" is the
+	// smoke criterion by name.
+	eq2 := 0
+	for u, w := range room.Topo.UPSLoads(onp.PairLoad()) {
+		if w > room.NormalLimit(flex.UPSID(u))+flex.CapacityTolerance {
+			eq2++
+		}
+	}
+	if eq2 != 0 {
+		return fmt.Errorf("online placement has %d Eq. 2 violations", eq2)
+	}
+	oracle := flex.FlexOfflineOracle()
+	oracle.MaxNodes, oracle.Workers = nodes*2, workers
+	offp, err := oracle.Place(context.Background(), flex.EmulationRoom(), trace)
+	if err != nil {
+		return fmt.Errorf("offline reference: %w", err)
+	}
+	gap := onp.StrandedFraction() - offp.StrandedFraction()
+	fmt.Fprintf(out, "online-smoke: §V-C trace, %d deployments\n", len(trace))
+	fmt.Fprintf(out, "  online:  placed %d/%d, stranded %.2f%%\n",
+		len(onp.Assignments), len(trace), onp.StrandedFraction()*100)
+	fmt.Fprintf(out, "  offline: placed %d/%d, stranded %.2f%%\n",
+		len(offp.Assignments), len(trace), offp.StrandedFraction()*100)
+	fmt.Fprintf(out, "  gap %.2fpp (bound 10pp), Eq. 2 violations: %d, safety: ok\n", gap*100, eq2)
+	if gap > 0.10 {
+		return fmt.Errorf("online stranded power gap %.2fpp exceeds the 10pp bound", gap*100)
 	}
 	return nil
 }

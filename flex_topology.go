@@ -33,6 +33,10 @@ const (
 // FlexLatencyBudget is the 10-second end-to-end deadline for Flex-Online.
 const FlexLatencyBudget = power.FlexLatencyBudget
 
+// CapacityTolerance is the slack applied to capacity comparisons so that
+// float rounding never flips a feasibility verdict.
+const CapacityTolerance = power.CapacityTolerance
+
 // NewTopology builds an xN/y room topology (see power.NewRoom).
 //
 // The zero RoomConfig is invalid (capacity and pair count must be set);

@@ -1,0 +1,98 @@
+package placement
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"flex/internal/workload"
+)
+
+// cancelAfterCtx reports cancellation after its Err method has been
+// consulted `after` times — a deterministic stand-in for "the context is
+// canceled partway through a long trace". context.Cause falls back to
+// ctx.Err() for contexts without a cancelCtx ancestor, so policies
+// surface this as their returned error.
+type cancelAfterCtx struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	after int
+}
+
+func (c *cancelAfterCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *cancelAfterCtx) checks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// TestPoliciesAbortCanceledCtxPromptly: every baseline policy's Place
+// loop checks ctx per deployment, so a cancellation mid-trace aborts
+// within one deployment instead of running the remaining hundreds.
+func TestPoliciesAbortCanceledCtxPromptly(t *testing.T) {
+	// A long trace: many small deployments so the per-deployment check is
+	// the only thing bounding the abort latency.
+	var trace []workload.Deployment
+	for i := 0; i < 400; i++ {
+		trace = append(trace, workload.Deployment{
+			ID: i, Workload: "w", Category: workload.SoftwareRedundant,
+			Racks: 1, PowerPerRack: 10 * 1000,
+		})
+	}
+	policies := []Policy{
+		Random{Seed: 1},
+		RoundRobin{},
+		BalancedRoundRobin{},
+		FirstFit{},
+	}
+	const after = 3
+	for _, pol := range policies {
+		ctx := &cancelAfterCtx{Context: context.Background(), after: after}
+		p, err := pol.Place(ctx, PaperRoom(), trace)
+		if err == nil {
+			t.Errorf("%s: no error from a canceled ctx (placed %d)", pol.Name(), len(p.Assignments))
+			continue
+		}
+		// Prompt: the policy stopped at the first failing check, not after
+		// draining the trace. Allow a little slack for policies that consult
+		// ctx more than once per deployment.
+		if n := ctx.checks(); n > after+2 {
+			t.Errorf("%s: ctx checked %d times before aborting; want <= %d", pol.Name(), n, after+2)
+		}
+	}
+}
+
+// TestPoliciesCancelWallClock: belt and braces on real contexts — a
+// pre-canceled context aborts every policy immediately even on a large
+// generated trace.
+func TestPoliciesCancelWallClock(t *testing.T) {
+	room := PaperRoom()
+	trace, err := workload.GenerateTrace(
+		workload.DefaultTraceConfig(room.Topo.ProvisionedPower()), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, pol := range []Policy{Random{Seed: 2}, RoundRobin{}, BalancedRoundRobin{}, FirstFit{}} {
+		start := time.Now()
+		if _, err := pol.Place(ctx, room, trace); err == nil {
+			t.Errorf("%s: no error from pre-canceled ctx", pol.Name())
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("%s: abort took %v", pol.Name(), d)
+		}
+	}
+}

@@ -45,12 +45,12 @@ func TestGreedyBatchFallback(t *testing.T) {
 func TestPlaceInComboBestFit(t *testing.T) {
 	room := PaperRoom()
 	s := newState(room)
-	combos := combosOf(room.Topo)
+	combos := CombosOf(room.Topo)
 	cb := combos[0]
 	// Pre-fill the first pair of the combo so it has less space.
 	filler := workload.Deployment{ID: 100, Workload: "w", Category: workload.SoftwareRedundant,
 		Racks: 50, PowerPerRack: power.KW, FlexPowerFraction: 0}
-	s.place(filler, cb.pairs[0])
+	s.place(filler, cb.Pairs[0])
 	d := workload.Deployment{ID: 101, Workload: "w", Category: workload.SoftwareRedundant,
 		Racks: 10, PowerPerRack: power.KW, FlexPowerFraction: 0}
 	f := FlexOffline{BatchFraction: 1}
@@ -59,8 +59,8 @@ func TestPlaceInComboBestFit(t *testing.T) {
 	}
 	// Best fit = smallest sufficient free space = the pre-filled pair
 	// (10 slots free) over the empty ones (60 free).
-	if got := s.placed[101]; got != cb.pairs[0] {
-		t.Fatalf("placed on pair %d, want best-fit pair %d", got, cb.pairs[0])
+	if got := s.placed[101]; got != cb.Pairs[0] {
+		t.Fatalf("placed on pair %d, want best-fit pair %d", got, cb.Pairs[0])
 	}
 	// When nothing in the combo fits, it must report false.
 	big := workload.Deployment{ID: 102, Workload: "w", Category: workload.SoftwareRedundant,

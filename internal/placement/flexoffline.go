@@ -88,26 +88,32 @@ func (f FlexOffline) Name() string {
 	return fmt.Sprintf("Flex-Offline(%.2f)", f.BatchFraction)
 }
 
-// combo is one UPS combination with its member PDU-pairs.
-type combo struct {
-	upses [2]power.UPSID
-	pairs []power.PDUPairID
+// Combo is one UPS combination with its member PDU-pairs. All pairs of a
+// combination are electrically interchangeable, so both the batch ILP and
+// the online admitter assign deployments to combos first and spread across
+// the member pairs second.
+type Combo struct {
+	UPSes [2]power.UPSID
+	Pairs []power.PDUPairID
 }
 
-func combosOf(topo *power.Topology) []combo {
-	byKey := map[[2]power.UPSID]*combo{}
+// CombosOf groups a topology's PDU-pairs by UPS combination, in order of
+// first appearance in topo.Pairs. The ordering is what BatchILP's decision
+// variables and WarmIncumbent's load profiles are indexed by.
+func CombosOf(topo *power.Topology) []Combo {
+	byKey := map[[2]power.UPSID]*Combo{}
 	var order [][2]power.UPSID
 	for _, p := range topo.Pairs {
 		key := p.UPSes
 		c, ok := byKey[key]
 		if !ok {
-			c = &combo{upses: key}
+			c = &Combo{UPSes: key}
 			byKey[key] = c
 			order = append(order, key)
 		}
-		c.pairs = append(c.pairs, p.ID)
+		c.Pairs = append(c.Pairs, p.ID)
 	}
-	out := make([]combo, 0, len(order))
+	out := make([]Combo, 0, len(order))
 	for _, key := range order {
 		out = append(out, *byKey[key])
 	}
@@ -131,7 +137,7 @@ func (f FlexOffline) Place(ctx context.Context, room *Room, trace []workload.Dep
 		maxNodes = 1500
 	}
 	s := newState(room)
-	combos := combosOf(room.Topo)
+	combos := CombosOf(room.Topo)
 	batchPow := power.Watts(f.BatchFraction * float64(room.Topo.ProvisionedPower()))
 
 	var batch []workload.Deployment
@@ -191,13 +197,21 @@ func (f FlexOffline) Place(ctx context.Context, room *Room, trace []workload.Dep
 // the exact problem FlexOffline solves per batch, for benchmarks and
 // solver experiments.
 func BatchILP(room *Room, batch []workload.Deployment) *milp.Problem {
-	return FlexOffline{}.batchILP(newState(room), combosOf(room.Topo), batch)
+	return FlexOffline{}.batchILP(newState(room), CombosOf(room.Topo), batch)
+}
+
+// BatchILP builds the same problem under this FlexOffline configuration
+// (honoring SkipDiversityReserve and friends) — the entry point the
+// online admitter's warm background re-solve uses so its exact problem
+// matches the admission-path constraint set exactly.
+func (f FlexOffline) BatchILP(room *Room, batch []workload.Deployment) *milp.Problem {
+	return f.batchILP(newState(room), CombosOf(room.Topo), batch)
 }
 
 // batchILP builds the batch ILP against the current committed state. All
 // constraints are ≤ with non-negative coefficients, so rounding a
 // relaxation down is always feasible.
-func (f FlexOffline) batchILP(s *state, combos []combo, batch []workload.Deployment) *milp.Problem {
+func (f FlexOffline) batchILP(s *state, combos []Combo, batch []workload.Deployment) *milp.Problem {
 	topo := s.room.Topo
 	nd, nc := len(batch), len(combos)
 	nVars := nd * nc // binary placement vars x[d*nc+c]
@@ -233,7 +247,7 @@ func (f FlexOffline) batchILP(s *state, combos []combo, batch []workload.Deploym
 		for di, d := range batch {
 			half := float64(d.TotalPower()) / 2 / mw
 			for ci, cb := range combos {
-				if cb.upses[0] == power.UPSID(u) || cb.upses[1] == power.UPSID(u) {
+				if cb.UPSes[0] == power.UPSID(u) || cb.UPSes[1] == power.UPSID(u) {
 					c[di*nc+ci] = half
 				}
 			}
@@ -257,7 +271,7 @@ func (f FlexOffline) batchILP(s *state, combos []combo, batch []workload.Deploym
 					continue
 				}
 				for ci, cb := range combos {
-					w := failoverWeight(cb.upses[0], cb.upses[1], uu, ff)
+					w := failoverWeight(cb.UPSes[0], cb.UPSes[1], uu, ff)
 					if w > 0 {
 						c[di*nc+ci] = w * capPow
 						any = true
@@ -274,7 +288,7 @@ func (f FlexOffline) batchILP(s *state, combos []combo, batch []workload.Deploym
 	for ci, cb := range combos {
 		c := make([]float64, nVars)
 		free := 0
-		for _, pid := range cb.pairs {
+		for _, pid := range cb.Pairs {
 			free += s.slotsLeft[pid]
 		}
 		for di, d := range batch {
@@ -310,7 +324,7 @@ func (f FlexOffline) batchILP(s *state, combos []combo, batch []workload.Deploym
 		for ci, cb := range combos {
 			c := make([]float64, nVars)
 			var free float64
-			for _, pid := range cb.pairs {
+			for _, pid := range cb.Pairs {
 				free += float64(s.room.PairCapacity-s.pairPow[pid]) / mw
 			}
 			for di, d := range batch {
@@ -339,14 +353,14 @@ func (f FlexOffline) batchILP(s *state, combos []combo, batch []workload.Deploym
 // batch's per-combo loads, and given a round-down-plus-completion
 // heuristic. It returns this batch's per-combo placed power for the next
 // batch's warm start.
-func (f FlexOffline) solveBatch(ctx context.Context, s *state, combos []combo, batch []workload.Deployment, timeLimit time.Duration, maxNodes int, prevLoad []float64) ([]float64, error) {
+func (f FlexOffline) solveBatch(ctx context.Context, s *state, combos []Combo, batch []workload.Deployment, timeLimit time.Duration, maxNodes int, prevLoad []float64) ([]float64, error) {
 	nc := len(combos)
 	prob := f.batchILP(s, combos, batch)
 	heuristic := func(relaxed []float64) []float64 {
 		return roundDownAndComplete(prob, relaxed, nc)
 	}
 	incumbent := milp.GreedyBinaryIncumbent(prob)
-	if warm := warmIncumbent(prob, batch, nc, prevLoad); warm != nil {
+	if warm := WarmIncumbent(prob, batch, nc, prevLoad); warm != nil {
 		if incumbent == nil || prob.ObjectiveValue(warm) > prob.ObjectiveValue(incumbent) {
 			incumbent = warm
 		}
@@ -401,13 +415,17 @@ func (f FlexOffline) solveBatch(ctx context.Context, s *state, combos []combo, b
 	return load, nil
 }
 
-// warmIncumbent builds a feasible 0/1 warm start for the batch ILP from the
-// previous batch's per-combo load profile: deployments (largest first) go
-// to the feasible combination carrying the least cumulative power, so the
-// incumbent inherits the spread the previous solve converged to instead of
+// WarmIncumbent builds a feasible 0/1 warm start for a batch ILP (built by
+// BatchILP against the same batch and combo ordering) from a per-combo load
+// profile: deployments (largest first) go to the feasible combination
+// carrying the least cumulative power, so the incumbent inherits the spread
+// a previous solve (or the live committed state) converged to instead of
 // piling onto the first combination the way a plain greedy does. Returns
-// nil when there is no previous profile.
-func warmIncumbent(prob *milp.Problem, batch []workload.Deployment, nc int, prevLoad []float64) []float64 {
+// nil when the profile is missing or stale (its length does not match nc).
+// The result is always feasible — deployments that fit nowhere are simply
+// left unplaced, so a batch larger than the remaining capacity yields a
+// partial (possibly all-zero) incumbent rather than an infeasible one.
+func WarmIncumbent(prob *milp.Problem, batch []workload.Deployment, nc int, prevLoad []float64) []float64 {
 	if len(prevLoad) != nc || nc == 0 {
 		return nil
 	}
@@ -461,14 +479,14 @@ func warmIncumbent(prob *milp.Problem, batch []workload.Deployment, nc int, prev
 
 // commitCombo places the deployments assigned to one combo onto its pairs,
 // using an exact bin-packing search first and greedy fallbacks after.
-func (f FlexOffline) commitCombo(s *state, cb combo, ds []workload.Deployment) {
+func (f FlexOffline) commitCombo(s *state, cb Combo, ds []workload.Deployment) {
 	if len(ds) == 0 {
 		return
 	}
 	sorted := append([]workload.Deployment(nil), ds...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Racks > sorted[j].Racks })
-	bins := make([]int, len(cb.pairs))
-	for i, pid := range cb.pairs {
+	bins := make([]int, len(cb.Pairs))
+	for i, pid := range cb.Pairs {
 		bins[i] = s.slotsLeft[pid]
 	}
 	var rest []workload.Deployment
@@ -477,8 +495,8 @@ func (f FlexOffline) commitCombo(s *state, cb combo, ds []workload.Deployment) {
 			// The ILP guaranteed combo-level power feasibility, but guard
 			// against accumulated rounding by re-checking each placement;
 			// anything rejected goes through the greedy fallback below.
-			if s.canPlace(d, cb.pairs[assign[i]]) {
-				s.place(d, cb.pairs[assign[i]])
+			if s.canPlace(d, cb.Pairs[assign[i]]) {
+				s.place(d, cb.Pairs[assign[i]])
 			} else {
 				rest = append(rest, d)
 			}
@@ -597,10 +615,10 @@ func roundDownAndComplete(prob *milp.Problem, relaxed []float64, nc int) []float
 // placeInCombo places d on the best-fit pair (smallest sufficient free
 // space) within the combo, honoring all constraints. Returns false when no
 // pair in the combo fits.
-func (f FlexOffline) placeInCombo(s *state, cb combo, d workload.Deployment) bool {
+func (f FlexOffline) placeInCombo(s *state, cb Combo, d workload.Deployment) bool {
 	best := power.PDUPairID(-1)
 	bestFree := int(^uint(0) >> 1)
-	for _, pid := range cb.pairs {
+	for _, pid := range cb.Pairs {
 		if s.canPlace(d, pid) && s.slotsLeft[pid] < bestFree {
 			best, bestFree = pid, s.slotsLeft[pid]
 		}

@@ -1,0 +1,160 @@
+// Scenario scoring: when more than one UPS combination can take an
+// arriving deployment, the admitter picks between them with the online
+// sampling optimization trick — cheap greedy completions of a few sampled
+// future-arrival suffixes (drawn from a pre-generated workload stream),
+// plus a deviation penalty against the per-combo target profile published
+// by the warm background solver. All scoring runs on preallocated scratch
+// buffers refreshed with copy(), keeping the admission path on the
+// allocfree-analyzer-proven hot path.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flex/internal/workload"
+)
+
+// scenarioDep is a pre-reduced future arrival: exactly the three numbers
+// the simulated greedy completion needs.
+type scenarioDep struct {
+	racks  int
+	pow    float64
+	capPow float64
+}
+
+// scenarioStride decorrelates the sampled suffixes: scenario s starts at
+// cursor + s*scenarioStride into the circular stream. Coprime with the
+// default stream lengths.
+const scenarioStride = 17
+
+// devWeight trades scenario-placed watts against deviation from the
+// solver's target profile. Both terms are in watts; the deviation term is
+// deliberately the weaker signal so sampled evidence dominates when it is
+// decisive and the target breaks ties.
+const devWeight = 0.25
+
+// initScenarios materializes the sampled future-arrival stream from
+// cfg.ScenarioTrace or the default §V-A generator sized to the room.
+func (a *Admitter) initScenarios() error {
+	trace := a.cfg.ScenarioTrace
+	if trace == nil {
+		rng := rand.New(rand.NewSource(a.cfg.Seed))
+		var err error
+		trace, err = workload.GenerateTrace(
+			workload.DefaultTraceConfig(a.room.Topo.ProvisionedPower()), rng)
+		if err != nil {
+			return fmt.Errorf("online: generating scenario stream: %w", err)
+		}
+	}
+	if len(trace) == 0 {
+		return fmt.Errorf("online: empty scenario stream")
+	}
+	a.streamDeps = append([]workload.Deployment(nil), trace...)
+	a.stream = make([]scenarioDep, len(trace))
+	for i, d := range trace {
+		a.stream[i] = scenarioDep{
+			racks:  d.Racks,
+			pow:    float64(d.TotalPower()),
+			capPow: float64(d.CapPower()) / a.oversub,
+		}
+	}
+	return nil
+}
+
+// scoreCandidatesLocked picks the best combo among those with
+// candPair >= 0 for a deployment of (pow, capPow, racks). Caller
+// guarantees at least one candidate.
+func (a *Admitter) scoreCandidatesLocked(pow, capPow float64, racks int) int {
+	best, bestScore := -1, 0.0
+	g := a.guidance.Load()
+	for c := 0; c < a.nCombos; c++ {
+		if a.candPair[c] < 0 {
+			continue
+		}
+		score := a.scoreComboLocked(c, pow, capPow, racks, g.target)
+		if best < 0 || score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// scoreComboLocked scores committing the in-flight deployment to combo c:
+// the average power greedily placeable from sampled future suffixes,
+// minus devWeight times the resulting distance from the target profile.
+func (a *Admitter) scoreComboLocked(c int, pow, capPow float64, racks int, target []float64) float64 {
+	dev := 0.0
+	for k := 0; k < a.nCombos; k++ {
+		load := a.comboPow[k]
+		if k == c {
+			load += pow
+		}
+		d := load - target[k]
+		if d < 0 {
+			d = -d
+		}
+		dev += d
+	}
+	if a.cfg.Scenarios <= 0 {
+		return -dev
+	}
+	total := 0.0
+	for s := 0; s < a.cfg.Scenarios; s++ {
+		total += a.simulateSuffixLocked(c, pow, capPow, racks, a.scCursor+s*scenarioStride)
+	}
+	return total/float64(a.cfg.Scenarios) - devWeight*dev
+}
+
+// simulateSuffixLocked replays one sampled future suffix on the scratch
+// state after committing the in-flight deployment to combo c, greedily
+// placing each arrival on its least-loaded feasible combo, and returns
+// the placed power. Combo-granular on purpose: pair-level best-fit inside
+// a combo rarely changes which combo wins, and skipping it keeps the
+// whole simulation a few thousand float ops.
+func (a *Admitter) simulateSuffixLocked(c int, pow, capPow float64, racks, offset int) float64 {
+	copy(a.runNormal, a.normal)
+	copy(a.runFail, a.failCap)
+	copy(a.runSlots, a.comboSlots)
+	copy(a.runPow, a.comboPow)
+	simPow, simCapPow := a.placedPow, a.placedCapPow
+	comboApply(a.runNormal, a.runFail, a.nUPS, a.comboA[c], a.comboB[c], pow, capPow)
+	a.runSlots[c] -= racks
+	a.runPow[c] += pow
+	simPow += pow
+	simCapPow += capPow
+	placed := 0.0
+	n := len(a.stream)
+	for k := 0; k < a.cfg.ScenarioDepth; k++ {
+		dep := a.stream[(offset+k)%n]
+		if a.coolPerWatt > 0 && (simPow+dep.pow)*a.coolPerWatt > a.coolCFM+coolTol {
+			continue
+		}
+		if a.capBudget >= 0 && simCapPow+dep.capPow > a.capBudget+tol {
+			continue
+		}
+		pick := -1
+		for j := 0; j < a.nCombos; j++ {
+			if a.runSlots[j] < dep.racks {
+				continue
+			}
+			if pick >= 0 && a.runPow[j] >= a.runPow[pick] {
+				continue
+			}
+			if !comboFits(a.runNormal, a.runFail, a.normalLimit, a.upsCap, a.nUPS, a.comboA[j], a.comboB[j], dep.pow, dep.capPow) {
+				continue
+			}
+			pick = j
+		}
+		if pick < 0 {
+			continue
+		}
+		comboApply(a.runNormal, a.runFail, a.nUPS, a.comboA[pick], a.comboB[pick], dep.pow, dep.capPow)
+		a.runSlots[pick] -= dep.racks
+		a.runPow[pick] += dep.pow
+		simPow += dep.pow
+		simCapPow += dep.capPow
+		placed += dep.pow
+	}
+	return placed
+}

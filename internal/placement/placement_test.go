@@ -267,13 +267,13 @@ func TestFlexOfflineNames(t *testing.T) {
 
 func TestCombosOfGroupsPairs(t *testing.T) {
 	room := PaperRoom()
-	combos := combosOf(room.Topo)
+	combos := CombosOf(room.Topo)
 	if len(combos) != 6 {
 		t.Fatalf("combos = %d, want 6", len(combos))
 	}
 	for _, c := range combos {
-		if len(c.pairs) != 3 {
-			t.Errorf("combo %v has %d pairs, want 3", c.upses, len(c.pairs))
+		if len(c.Pairs) != 3 {
+			t.Errorf("combo %v has %d pairs, want 3", c.UPSes, len(c.Pairs))
 		}
 	}
 }
