@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race cover bench bench-solver bench-obs bench-fleet bench-online figures fuzz examples replay-smoke slo-smoke fleet-smoke online-smoke ci clean
+.PHONY: all build vet lint lint-json test race cover bench bench-solver bench-obs bench-fleet bench-online bench-latency figures fuzz examples replay-smoke slo-smoke fleet-smoke latency-smoke online-smoke ci clean
 
 all: build vet lint test
 
@@ -53,6 +53,16 @@ slo-smoke:
 fleet-smoke:
 	$(GO) run ./cmd/flexsim -experiment fleet -rooms 10
 
+# Runs the 10-room fleet emulation with latency attribution asserted
+# (flexsim -latency): the failed room's overdraw must surface as a
+# stitched per-episode waterfall at /fleet/traces whose stage durations
+# tile the episode span, the waterfall must reconcile with the measured
+# detect→shed latency, every stage p99 must sit inside its carve of the
+# 10s budget, and the stage exemplars must resolve to flight-recorder
+# events. flexsim exits non-zero on any violation.
+latency-smoke:
+	$(GO) run ./cmd/flexsim -experiment fleet -rooms 10 -latency
+
 # Runs the online-placement acceptance check (ISSUE 9) on the §V-C
 # emulation trace: the online admitter must produce a safe placement
 # (zero Eq. 2 / Eq. 4 violations) whose stranded power is within 10
@@ -68,8 +78,8 @@ online-smoke:
 # admit/remove against the background resolver), a flexmon smoke run with
 # the observability surface enabled, the record→replay determinism check,
 # the SLO smoke episode, the fleet smoke emulation, and the
-# online-placement acceptance smoke.
-ci: build vet lint test replay-smoke slo-smoke fleet-smoke online-smoke
+# latency-attribution smoke, and the online-placement acceptance smoke.
+ci: build vet lint test replay-smoke slo-smoke fleet-smoke latency-smoke online-smoke
 	$(GO) test -race ./internal/telemetry/... ./internal/controller/... ./internal/rackmgr/... ./internal/obs/... ./internal/replay/... ./internal/milp/... ./internal/lp/... ./internal/fleet/... ./internal/emu/... ./internal/placement/online/
 	$(GO) run ./cmd/flexmon -quick -metrics -listen 127.0.0.1:0
 
@@ -125,6 +135,16 @@ bench-online:
 bench-fleet:
 	$(GO) test -run '^$$' -bench BenchmarkFleetDetectToShed -benchtime 3x ./internal/emu/ | $(GO) run ./cmd/benchjson -o BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
+
+# Records the latency-attribution baseline (BenchmarkFleetStageLatency:
+# per-stage p50/p99 of the detect→shed critical path, virtual-clock
+# seconds, at 1/10/100 rooms). Every stage p99 must stay inside its
+# carve of the 10s budget — the benchmark itself fails otherwise. Diff
+# two captures (each stamped with its commit and capture time) with:
+#   $(GO) run ./cmd/benchjson -compare BENCH_latency.json BENCH_latency.new.json
+bench-latency:
+	$(GO) test -run '^$$' -bench BenchmarkFleetStageLatency -benchtime 3x ./internal/emu/ | $(GO) run ./cmd/benchjson -o BENCH_latency.json
+	@echo wrote BENCH_latency.json
 
 # Regenerates every figure/result of the paper's evaluation.
 figures:

@@ -21,17 +21,38 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"flex/internal/clock"
 )
 
 // Baseline is the file layout of BENCH_baseline.json.
 type Baseline struct {
+	// Commit is the git commit the baseline was captured at (empty when
+	// the tree was not a git checkout at capture time).
+	Commit string `json:"commit,omitempty"`
+	// GeneratedAt is the UTC capture time, RFC 3339.
+	GeneratedAt string `json:"generated_at,omitempty"`
 	// Env holds the `key: value` header lines (goos, goarch, pkg, cpu).
 	Env map[string]string `json:"env"`
 	// Benchmarks holds one record per result line, in input order.
 	Benchmarks []Record `json:"benchmarks"`
+}
+
+// provenance stamps a freshly parsed baseline with the current git
+// commit and capture time, so two BENCH_*.json files are comparable as
+// points in history. Both stamps are best-effort: outside a git checkout
+// the commit is simply absent.
+func provenance(b *Baseline) {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		b.Commit = strings.TrimSpace(string(out))
+	}
+	var clk clock.Clock = clock.Real{}
+	b.GeneratedAt = clk.Now().UTC().Format(time.RFC3339)
 }
 
 // Record is one benchmark result line.
@@ -90,6 +111,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	provenance(b)
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -247,6 +269,21 @@ func compareFiles(oldPath, newPath string, w io.Writer) error {
 	newB, err := load(newPath)
 	if err != nil {
 		return err
+	}
+	// Lead with both files' provenance so a diff is readable as "commit X
+	// at T1 vs commit Y at T2", not just two anonymous file names.
+	for _, side := range []struct {
+		path string
+		b    *Baseline
+	}{{oldPath, oldB}, {newPath, newB}} {
+		line := side.path
+		if side.b.Commit != "" {
+			line += " commit=" + side.b.Commit
+		}
+		if side.b.GeneratedAt != "" {
+			line += " generated=" + side.b.GeneratedAt
+		}
+		fmt.Fprintln(w, line)
 	}
 	key := func(r Record) string { return r.Pkg + " " + r.Name }
 	oldByKey := map[string]Record{}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -264,5 +265,55 @@ func TestSpeedupTableNoSerial(t *testing.T) {
 	}
 	if err := speedupTable(path, io.Discard); err == nil {
 		t.Fatal("want error when no serial nodes/s record exists")
+	}
+}
+
+// TestProvenanceStamp checks that a freshly parsed baseline is stamped
+// with a well-formed UTC capture time (and, inside a git checkout, the
+// HEAD commit), and that -compare leads with both files' provenance.
+func TestProvenanceStamp(t *testing.T) {
+	b, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	provenance(b)
+	if b.GeneratedAt == "" {
+		t.Fatal("provenance left GeneratedAt empty")
+	}
+	if _, err := time.Parse(time.RFC3339, b.GeneratedAt); err != nil {
+		t.Fatalf("GeneratedAt %q is not RFC 3339: %v", b.GeneratedAt, err)
+	}
+
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	b.Commit = "aaaa"
+	writeBaseline(t, oldPath, b)
+	b.Commit = "bbbb"
+	writeBaseline(t, newPath, b)
+
+	var out bytes.Buffer
+	if err := compareFiles(oldPath, newPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		oldPath + " commit=aaaa generated=" + b.GeneratedAt,
+		newPath + " commit=bbbb generated=" + b.GeneratedAt,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing provenance header %q:\n%s", want, got)
+		}
+	}
+}
+
+func writeBaseline(t *testing.T, path string, b *Baseline) {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -90,6 +90,20 @@ func watchOnce(client *http.Client, base string, sinceSeq uint64) (line string, 
 			fmt.Fprintf(&b, " %s×%d", t, c)
 		}
 	}
+	// Per-stage critical-path p99s against their 10s-budget carves (only
+	// when the server's auditor is bound to stage histograms). "!" marks
+	// a stage over its carve.
+	if len(status.Stages) > 0 {
+		parts := make([]string, 0, len(status.Stages))
+		for _, st := range status.Stages {
+			s := fmt.Sprintf("%s:%.0fms", st.Name, st.P99*1000)
+			if st.OverBudget {
+				s += "!"
+			}
+			parts = append(parts, s)
+		}
+		fmt.Fprintf(&b, " stages=%s", strings.Join(parts, ","))
+	}
 	if health.State != slo.StateReady && len(health.Reasons) > 0 {
 		fmt.Fprintf(&b, "  [%s]", health.Reasons[0])
 	}

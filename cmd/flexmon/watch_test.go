@@ -3,9 +3,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"flex/internal/obs/slo"
 )
 
 // TestWatchAgainstLiveRun drives a quick emulation with -listen, then
@@ -52,11 +57,61 @@ func TestWatchAgainstLiveRun(t *testing.T) {
 		}
 	}
 
+	// Keep polling while the emulation runs until the per-stage latency
+	// summary shows up — the auditor exports Status.Stages once the run
+	// binds it to the controllers' stage histograms. A poll error means
+	// the run finished and the server went away; stop then.
+	sawStages := false
+	for i := 0; i < 2000 && !sawStages; i++ {
+		var one strings.Builder
+		if err := run(context.Background(), []string{"-watch", "-url", "http://" + addr, "-n", "1"}, &one); err != nil {
+			break
+		}
+		sawStages = strings.Contains(one.String(), "stages=")
+	}
+	if !sawStages {
+		t.Errorf("no watch poll carried a stages= summary")
+	}
+
 	// Drain the emulation and make sure it succeeded end to end.
 	if _, err := io.ReadAll(br); err != nil {
 		t.Fatalf("draining run output: %v", err)
 	}
 	if err := <-errCh; err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestWatchStageSummaryLine pins the stage-summary formatting against a
+// canned /slo payload: p99s in milliseconds, timeline order preserved,
+// "!" marking a stage over its budget carve.
+func TestWatchStageSummaryLine(t *testing.T) {
+	status := slo.Status{
+		Stages: []slo.StageStatus{
+			{Name: "sample", Count: 3, P99: 0.05, BudgetSeconds: 3},
+			{Name: "act", Count: 1, P99: 1.25, BudgetSeconds: 1, OverBudget: true},
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(slo.Health{State: slo.StateReady})
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(status)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("[]"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-watch", "-url", srv.URL, "-n", "1"}, &out); err != nil {
+		t.Fatalf("-watch: %v\n%s", err, out.String())
+	}
+	line := strings.TrimSpace(out.String())
+	const want = "stages=sample:50ms,act:1250ms!"
+	if !strings.Contains(line, want) {
+		t.Fatalf("watch line %q missing %q", line, want)
 	}
 }

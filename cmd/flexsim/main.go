@@ -19,8 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"flex"
@@ -49,6 +52,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	listen := fs.String("listen", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run (e.g. :8080)")
 	record := fs.String("record", "", "write the flight-recorder event log to this file (JSONL)")
 	withSLO := fs.Bool("slo", false, "episode experiment: run the continuous safety auditor, print an SLO summary, and fail unless /healthz flips healthy→degraded→healthy with a probe-fail-free steady state (the slo-smoke gate)")
+	latency := fs.Bool("latency", false, "fleet experiment: print the per-episode latency waterfall and fail unless the failed room's stitched stages reconcile with the measured shed latency and every stage p99 sits inside its 10s-budget carve (the latency-smoke gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +97,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		srvCfg.SLO = aud.SLOHandler()
 		srvCfg.Health = aud.HealthHandler()
 	}
+	// The obs server starts before the fleet emulation assembles its
+	// shards, so /fleet and /fleet/traces are mounted through late-bound
+	// handlers the emulation fills in via FleetEmulationConfig.Attach.
+	var fleetH, fleetTracesH *lateHandler
+	if *experiment == "fleet" {
+		fleetH, fleetTracesH = new(lateHandler), new(lateHandler)
+		srvCfg.Fleet, srvCfg.FleetTraces = fleetH, fleetTracesH
+	}
 	if *listen != "" {
 		addr, stop, err := obs.StartServer(*listen, srvCfg)
 		if err != nil {
@@ -108,7 +120,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "episode":
 		return runEpisode(ctx, out, *seed, rec, reg, aud)
 	case "fleet":
-		return runFleet(ctx, out, *rooms, *seed, reg)
+		return runFleet(ctx, out, *rooms, *seed, reg, rec, *latency, fleetH, fleetTracesH)
 	case "feasibility":
 		return runFeasibility(out)
 	case "montecarlo":
@@ -305,16 +317,47 @@ func runDesigns(out io.Writer) error {
 	return nil
 }
 
+// lateHandler mounts an HTTP endpoint before its backend exists: the obs
+// server starts first, the fleet emulation publishes its handlers via
+// FleetEmulationConfig.Attach once the shards are assembled.
+type lateHandler struct{ h atomic.Value }
+
+func (l *lateHandler) set(h http.Handler) { l.h.Store(h) }
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := l.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "fleet emulation not running yet", http.StatusServiceUnavailable)
+}
+
 // runFleet drives the multi-room sharded fleet emulation and asserts the
 // smoke criteria: every shard ready in the final snapshot, the aggregate
 // stranded power equal to the sum of per-room Eq. 5, the failed room shed
-// within the 10s budget, and zero cross-shard drops.
-func runFleet(ctx context.Context, out io.Writer, rooms int, seed int64, reg *obs.Registry) error {
+// within the 10s budget, and zero cross-shard drops. With latency set it
+// additionally prints and asserts the critical-path attribution (the
+// latency-smoke gate).
+func runFleet(ctx context.Context, out io.Writer, rooms int, seed int64, reg *obs.Registry, rec *flex.FlightRecorder, latency bool, fleetH, tracesH *lateHandler) error {
+	if latency && rec == nil {
+		// Waterfall stitching groups traces by flight-recorder episode id
+		// and the exemplar joins point at recorder events, so the latency
+		// gate always runs recorded — in memory when -record is absent.
+		rec = flex.NewFlightRecorder(1 << 18)
+	}
+	failRoom := rooms / 2
 	res, err := flex.RunFleetEmulationContext(ctx, flex.FleetEmulationConfig{
 		Rooms:    rooms,
-		FailRoom: rooms / 2,
+		FailRoom: failRoom,
 		Seed:     seed,
 		Obs:      reg,
+		Recorder: rec,
+		Attach: func(fl *flex.Fleet) {
+			if fleetH != nil {
+				fleetH.set(fl.Handler())
+				tracesH.set(fl.TracesHandler())
+			}
+		},
 	})
 	if err != nil {
 		return err
@@ -348,5 +391,92 @@ func runFleet(ctx context.Context, out io.Writer, rooms int, seed int64, reg *ob
 			snap.StrandedPower, rooms, res.PerRoomStranded, want)
 	}
 	fmt.Fprintln(out, "  fleet smoke: ok")
+	if latency {
+		return assertLatencySmoke(out, res, fmt.Sprintf("room-%03d", failRoom))
+	}
+	return nil
+}
+
+// Reconciliation tolerances for the latency-smoke gate. Stage durations
+// tile the stitched episode span by construction, so their sum matches
+// TotalSeconds to float rounding; the measured shed latency additionally
+// includes the UPS sampling cadence (1.5s) before the first stamped
+// sample and the trip-check granularity after the last actuation, so it
+// reconciles within one cadence plus slack.
+const (
+	stageSumTolerance  = 0.1 // seconds
+	shedMatchTolerance = 2.5 // seconds
+)
+
+// assertLatencySmoke is the `make latency-smoke` gate: the failed room's
+// detect→shed episode must surface as a stitched waterfall whose stage
+// durations tile the episode span, the waterfall must reconcile with the
+// measured shed latency, every stage p99 must sit inside its carve of
+// the 10s budget, and the stage exemplars must resolve to flight-recorder
+// episodes and events.
+func assertLatencySmoke(out io.Writer, res *flex.FleetEmulationResult, failRoom string) error {
+	// Per-stage digests against the budget carve.
+	if len(res.Stages) == 0 {
+		return fmt.Errorf("latency-smoke: no stage digests (fleet not instrumented)")
+	}
+	budgets := map[string]time.Duration{}
+	for _, st := range obs.Stages() {
+		budgets[st.String()] = slo.StageBudgets()[st]
+	}
+	fmt.Fprintf(out, "  %-8s %-8s %-12s %-12s %s\n", "stage", "count", "p50", "p99", "budget")
+	observed := 0
+	for _, st := range res.Stages {
+		fmt.Fprintf(out, "  %-8s %-8d %-12s %-12s %v\n", st.Stage, st.Count,
+			fmt.Sprintf("%.3fs", st.P50), fmt.Sprintf("%.3fs", st.P99), budgets[st.Stage])
+		if st.Count == 0 {
+			continue
+		}
+		observed++
+		if b := budgets[st.Stage]; st.P99 > b.Seconds() {
+			return fmt.Errorf("latency-smoke: stage %s p99 %.3fs over its %v budget carve", st.Stage, st.P99, b)
+		}
+		if st.Exemplar == nil || st.Exemplar.Episode == 0 || st.Exemplar.Event == 0 {
+			return fmt.Errorf("latency-smoke: stage %s exemplar does not resolve to a recorder event (%+v)", st.Stage, st.Exemplar)
+		}
+	}
+	if observed == 0 {
+		return fmt.Errorf("latency-smoke: stage histograms are empty")
+	}
+
+	// The failed room's stitched waterfall.
+	var ep *flex.FleetEpisodeTrace
+	for i := range res.Episodes {
+		if res.Episodes[i].Room == failRoom {
+			ep = &res.Episodes[i]
+			break
+		}
+	}
+	if ep == nil {
+		return fmt.Errorf("latency-smoke: no stitched episode for failed room %s (%d episodes total)", failRoom, len(res.Episodes))
+	}
+	if ep.Root == 0 {
+		return fmt.Errorf("latency-smoke: episode %d has no recorder root event", ep.Episode)
+	}
+	names := make([]string, 0, len(ep.TotalsSeconds))
+	for name := range ep.TotalsSeconds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum float64
+	fmt.Fprintf(out, "  episode %d (%s, root event %d): %d rounds over %.3fs\n",
+		ep.Episode, ep.Room, ep.Root, ep.Traces, ep.TotalSeconds)
+	for _, name := range names {
+		sum += ep.TotalsSeconds[name]
+		fmt.Fprintf(out, "    %-8s %.3fs\n", name, ep.TotalsSeconds[name])
+	}
+	if d := sum - ep.TotalSeconds; d > stageSumTolerance || d < -stageSumTolerance {
+		return fmt.Errorf("latency-smoke: episode %d stage sum %.3fs vs span %.3fs, want within %.1fs",
+			ep.Episode, sum, ep.TotalSeconds, stageSumTolerance)
+	}
+	if d := res.ShedLatency.Seconds() - ep.TotalSeconds; d > shedMatchTolerance || d < -shedMatchTolerance {
+		return fmt.Errorf("latency-smoke: measured shed latency %v vs episode span %.3fs, want within %.1fs",
+			res.ShedLatency, ep.TotalSeconds, shedMatchTolerance)
+	}
+	fmt.Fprintln(out, "  latency smoke: ok")
 	return nil
 }

@@ -27,6 +27,12 @@ type (
 	FleetSnapshot = fleet.Snapshot
 	// FleetRoomStatus is one room's slice of a FleetSnapshot.
 	FleetRoomStatus = fleet.RoomStatus
+	// FleetEpisodeTrace is one overdraw episode's stitched stage
+	// waterfall, as served at /fleet/traces.
+	FleetEpisodeTrace = fleet.EpisodeTrace
+	// FleetStageSummary is a fleet-wide per-stage latency digest with an
+	// exemplar join back to the flight recorder.
+	FleetStageSummary = fleet.StageSummary
 )
 
 // FleetOption customizes NewFleet.
@@ -79,3 +85,9 @@ func NewFleet(cfg FleetConfig, opts ...FleetOption) *Fleet {
 // as JSON, with ?room=NAME narrowing to one room's status. Mount it via
 // obs.ServerConfig.Fleet.
 func FleetHandler(f *Fleet) http.Handler { return f.Handler() }
+
+// FleetTracesHandler returns f's /fleet/traces HTTP handler: stitched
+// per-episode stage waterfalls plus the fleet stage digests as JSON,
+// with ?episode=N and ?limit=K filters. Mount it via
+// obs.ServerConfig.FleetTraces.
+func FleetTracesHandler(f *Fleet) http.Handler { return f.TracesHandler() }

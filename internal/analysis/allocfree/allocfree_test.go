@@ -8,5 +8,5 @@ import (
 )
 
 func TestAllocfree(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), allocfree.Analyzer, "hot", "lib")
+	analysistest.Run(t, analysistest.TestData(t), allocfree.Analyzer, "hot", "lib", "stamp")
 }

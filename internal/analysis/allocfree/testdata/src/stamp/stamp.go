@@ -1,0 +1,141 @@
+// Fixture: the stamped-telemetry hot paths. Stamp propagation over a
+// caller-owned batch and the fixed-slot exemplar store (per-bucket mutex
+// plus atomic counters, the shape of Histogram.ObserveExemplar) are
+// allocation-free; growing an exemplar slice or building a stamp index
+// on the hot path is flagged.
+package stamp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is the stamped telemetry sample: birth stamps ride along from
+// measurement through publish and dequeue.
+type Sample struct {
+	Device      string
+	Power       float64
+	MeasuredAt  time.Time
+	PublishedAt time.Time
+	DequeuedAt  time.Time
+}
+
+// Exemplar joins an observation to its flight-recorder context.
+type Exemplar struct {
+	Value   float64
+	Episode uint64
+	Event   uint64
+}
+
+type slot struct {
+	mu  sync.Mutex
+	set bool
+	ex  Exemplar
+}
+
+// Hist is a fixed-shape histogram: pre-sized buckets, one exemplar slot
+// per bucket, nothing grows after construction.
+type Hist struct {
+	upper  [4]float64
+	counts [5]atomic.Uint64
+	slots  [5]slot
+	all    []Exemplar
+}
+
+// StampPublished mirrors telemetry.StampPublished: fill in the publish
+// stamp on every sample of a caller-owned batch that does not already
+// carry one. Pure field writes — nothing escapes.
+//
+//flex:hotpath
+func StampPublished(batch []Sample, at time.Time) {
+	for i := range batch {
+		if batch[i].PublishedAt.IsZero() {
+			batch[i].PublishedAt = at
+		}
+	}
+}
+
+// Observe is the exemplar-joined observe path: bucket scan, atomic
+// count, last-write-wins store into the pre-allocated slot through its
+// own mutex.
+//
+//flex:hotpath
+func (h *Hist) Observe(v float64, ex Exemplar) {
+	i := h.bucket(v)
+	h.counts[i].Add(1)
+	h.attach(i, v, ex)
+}
+
+func (h *Hist) bucket(v float64) int {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	return i
+}
+
+func (h *Hist) attach(i int, v float64, ex Exemplar) {
+	ex.Value = v
+	s := &h.slots[i]
+	s.mu.Lock()
+	s.ex = ex
+	s.set = true
+	s.mu.Unlock()
+}
+
+// ObserveAll keeps every exemplar instead of last-write-wins; the
+// growing slice is flagged through the helper.
+//
+//flex:hotpath
+func (h *Hist) ObserveAll(v float64, ex Exemplar) {
+	h.counts[h.bucket(v)].Add(1)
+	ex.Value = v
+	h.keep(ex)
+}
+
+func (h *Hist) keep(ex Exemplar) {
+	h.all = append(h.all, ex) // want `hot path allocates: append may grow its backing array in keep \(reachable from //flex:hotpath ObserveAll\)`
+}
+
+// CopyStamped builds a filtered copy on the hot path instead of
+// stamping in place.
+//
+//flex:hotpath
+func CopyStamped(batch []Sample) []Sample {
+	var out []Sample
+	for _, s := range batch {
+		if !s.PublishedAt.IsZero() {
+			out = append(out, s) // want `hot path allocates: append may grow its backing array in CopyStamped \(//flex:hotpath\)`
+		}
+	}
+	return out
+}
+
+// IndexStamps builds a per-device stamp index on the hot path; the map
+// belongs on the cold side.
+//
+//flex:hotpath
+func IndexStamps(batch []Sample) map[string]time.Time {
+	idx := map[string]time.Time{} // want `hot path allocates: map literal in IndexStamps \(//flex:hotpath\)`
+	for _, s := range batch {
+		idx[s.Device] = s.PublishedAt
+	}
+	return idx
+}
+
+// DumpExemplars copies the slots out for serving; audited slow path.
+//
+//flex:coldpath
+func (h *Hist) DumpExemplars() []Exemplar {
+	out := make([]Exemplar, 0, len(h.slots))
+	for i := range h.slots {
+		s := &h.slots[i]
+		s.mu.Lock()
+		if s.set {
+			out = append(out, s.ex)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

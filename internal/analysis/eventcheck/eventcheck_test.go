@@ -8,5 +8,5 @@ import (
 )
 
 func TestEventcheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), eventcheck.Analyzer, "a", "b")
+	analysistest.Run(t, analysistest.TestData(t), eventcheck.Analyzer, "a", "b", "stampobs")
 }

@@ -1,0 +1,50 @@
+// Fixture: exemplar attach on histogram observe. The exemplar slot is
+// written under its own mutex, but the flight-recorder event that the
+// exemplar joins to must be emitted outside it — stamping the event
+// sequence first, then attaching, is the sanctioned order.
+package stampobs
+
+import (
+	"sync"
+
+	"flex/internal/obs/recorder"
+)
+
+type exemplar struct {
+	value   float64
+	episode uint64
+	event   uint64
+}
+
+type slot struct {
+	mu sync.Mutex
+	ex exemplar
+}
+
+type Hist struct {
+	slot slot
+	rec  *recorder.Recorder
+}
+
+func (h *Hist) badEmitUnderSlotMutex(v float64) {
+	h.slot.mu.Lock()
+	defer h.slot.mu.Unlock()
+	seq := h.rec.Emit(recorder.Event{Type: 1}) // want `flight-recorder Emit while mutex "h\.slot\.mu" is held`
+	h.slot.ex = exemplar{value: v, event: seq}
+}
+
+func (h *Hist) badEpisodeUnderSlotMutex(v float64) {
+	h.slot.mu.Lock()
+	defer h.slot.mu.Unlock()
+	h.slot.ex = exemplar{value: v, episode: h.rec.NextEpisode()} // want `flight-recorder NextEpisode while mutex "h\.slot\.mu" is held`
+}
+
+// goodEmitThenAttach is the real ObserveExemplar order: the recorder
+// event exists before the slot mutex is taken, the exemplar only copies
+// its identifiers.
+func (h *Hist) goodEmitThenAttach(v float64, episode uint64) {
+	seq := h.rec.Emit(recorder.Event{Type: 2, Subject: "stage"})
+	h.slot.mu.Lock()
+	h.slot.ex = exemplar{value: v, episode: episode, event: seq}
+	h.slot.mu.Unlock()
+}

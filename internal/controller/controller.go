@@ -57,8 +57,17 @@ type Config struct {
 	// instance; the counters aggregate.
 	Metrics *Metrics
 	// Tracer, when non-nil, records a detect→plan→act trace for every
-	// round that observes an overdraw.
+	// round that observes an overdraw. When the triggering UPS sample
+	// carries ingest stamps, the trace opens at the sample's MeasuredAt
+	// with sample/queue/view spans ahead of detect — the full
+	// meter-to-actuation waterfall.
 	Tracer *obs.Tracer
+	// Stages, when non-nil, receives per-stage critical-path latencies
+	// (sample/queue/view/detect/plan/act) for every completed overdraw
+	// round, each observation carrying an exemplar joining it to the
+	// episode, trace, and detect event. Fleet controllers share one
+	// instance per fleet so the histograms aggregate.
+	Stages *obs.StageMetrics
 	// Recorder, when non-nil, logs the causal event chain of every
 	// overdraw round — detect (caused by the UPS sample-arrive event it
 	// read), plan start/commit/abort, each planned action, and the
@@ -183,7 +192,7 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 	defer func() { c.cfg.Metrics.recordStep(&out) }()
 
 	var stepStart time.Time
-	if c.cfg.Tracer != nil {
+	if c.cfg.Tracer != nil || c.cfg.Stages != nil {
 		stepStart = c.cfg.Clock.Now()
 	}
 
@@ -251,10 +260,28 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 				Episode: episode,
 			})
 		}
+		// The ingest stamps of the sample that triggered detection open
+		// the waterfall: how old the reading already was when this round
+		// looked at it, split into sample/queue/view stages.
+		stamps, _ := c.cfg.UPSView.GetStamps(c.cfg.Topo.UPSes[worst].Name)
 		var tr *obs.Trace
 		if c.cfg.Tracer != nil {
-			tr = c.cfg.Tracer.Start("flex-online/"+c.cfg.Name, stepStart)
+			traceStart := stepStart
+			if !stamps.MeasuredAt.IsZero() {
+				traceStart = stamps.MeasuredAt
+			}
+			tr = c.cfg.Tracer.Start("flex-online/"+c.cfg.Name, traceStart)
 			tr.SetEpisode(episode)
+			tr.SetRoot(detectSeq)
+			if !stamps.MeasuredAt.IsZero() && !stamps.PublishedAt.IsZero() {
+				tr.Span("sample", stamps.MeasuredAt, stamps.PublishedAt)
+			}
+			if !stamps.PublishedAt.IsZero() && !stamps.DequeuedAt.IsZero() {
+				tr.Span("queue", stamps.PublishedAt, stamps.DequeuedAt)
+			}
+			if !stamps.DequeuedAt.IsZero() && !stamps.DequeuedAt.After(stepStart) {
+				tr.Span("view", stamps.DequeuedAt, stepStart)
+			}
 			tr.Span("detect", stepStart, now)
 		}
 		// Do not pile further actions onto a snapshot that predates our
@@ -308,7 +335,7 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 		aborted := err != nil && planCtx.Err() != nil
 		cancelPlan()
 		var planEnd time.Time
-		if tr != nil || rec != nil {
+		if tr != nil || rec != nil || c.cfg.Stages != nil {
 			planEnd = c.cfg.Clock.Now()
 		}
 		if tr != nil {
@@ -407,13 +434,20 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 				c.cfg.Metrics.observeFirstAction(enforcedAt.Sub(since))
 			}
 		}
-		if tr != nil {
+		if tr != nil || c.cfg.Stages != nil {
 			actEnd := c.cfg.Clock.Now()
-			tr.Span("act", planEnd, actEnd)
-			if out.Insufficient {
-				tr.SetNote("insufficient")
+			if tr != nil {
+				tr.Span("act", planEnd, actEnd)
+				if out.Insufficient {
+					tr.SetNote("insufficient")
+				}
+				tr.Finish(actEnd)
 			}
-			tr.Finish(actEnd)
+			ex := obs.Exemplar{Episode: episode, Seq: detectSeq, At: actEnd}
+			if tr != nil {
+				ex.Trace = tr.Seq
+			}
+			c.observeStages(stamps, stepStart, now, planEnd, actEnd, ex)
 		}
 		return out
 	}
@@ -508,6 +542,37 @@ func (c *Controller) StepContext(ctx context.Context) (out StepOutcome) {
 		c.mu.Unlock()
 	}
 	return out
+}
+
+// observeStages folds one completed overdraw round into the per-stage
+// latency histograms (Config.Stages). Stamp-derived stages are skipped
+// when the triggering sample predates stamping; compute stages are
+// always observed. Durations are clamped at zero — async ingest can
+// install a sample mid-step, making the view stage marginally negative.
+func (c *Controller) observeStages(st telemetry.Stamps, stepStart, detect, planEnd, actEnd time.Time, ex obs.Exemplar) {
+	sm := c.cfg.Stages
+	if sm == nil {
+		return
+	}
+	if !st.MeasuredAt.IsZero() && !st.PublishedAt.IsZero() {
+		sm.ObserveExemplar(obs.StageSample, nonNeg(st.PublishedAt.Sub(st.MeasuredAt)), ex)
+	}
+	if !st.PublishedAt.IsZero() && !st.DequeuedAt.IsZero() {
+		sm.ObserveExemplar(obs.StageQueue, nonNeg(st.DequeuedAt.Sub(st.PublishedAt)), ex)
+	}
+	if !st.DequeuedAt.IsZero() {
+		sm.ObserveExemplar(obs.StageView, nonNeg(stepStart.Sub(st.DequeuedAt)), ex)
+	}
+	sm.ObserveExemplar(obs.StageDetect, nonNeg(detect.Sub(stepStart)), ex)
+	sm.ObserveExemplar(obs.StagePlan, nonNeg(planEnd.Sub(detect)), ex)
+	sm.ObserveExemplar(obs.StageAct, nonNeg(actEnd.Sub(planEnd)), ex)
+}
+
+func nonNeg(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 func (c *Controller) rackByID(id string) *ManagedRack {

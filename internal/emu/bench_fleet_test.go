@@ -6,6 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"flex/internal/obs"
+	"flex/internal/obs/recorder"
+	"flex/internal/obs/slo"
 	"flex/internal/power"
 )
 
@@ -46,6 +49,59 @@ func BenchmarkFleetDetectToShed(b *testing.B) {
 			}
 			b.ReportMetric(detect.Seconds()/float64(b.N), "detect-s/op")
 			b.ReportMetric(shed.Seconds()/float64(b.N), "shed-s/op")
+		})
+	}
+}
+
+// BenchmarkFleetStageLatency measures the critical-path stage quantiles
+// (sample/queue/view/detect/plan/act, virtual-clock seconds) of a
+// recorded UPS-failure run as the fleet grows. Each stage's p50 and p99
+// ride as custom metrics next to the wall-clock ns/op, so the latency
+// attribution is tracked per room count across changes; the benchmark
+// fails outright when a stage was never observed or its p99 escapes the
+// stage's carve of the 10s budget.
+//
+// Recorded as BENCH_latency.json by `make bench-latency`.
+func BenchmarkFleetStageLatency(b *testing.B) {
+	budgets := map[string]float64{}
+	for _, stg := range obs.Stages() {
+		budgets[stg.String()] = slo.StageBudgets()[stg].Seconds()
+	}
+	for _, rooms := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("rooms=%d", rooms), func(b *testing.B) {
+			p50 := map[string]float64{}
+			p99 := map[string]float64{}
+			for i := 0; i < b.N; i++ {
+				rec := recorder.New(1 << 16)
+				res, err := RunFleet(context.Background(), FleetConfig{
+					Rooms:    rooms,
+					FailRoom: rooms / 2,
+					Seed:     int64(i + 1),
+					Recorder: rec,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Episodes) == 0 {
+					b.Fatalf("rooms=%d: no stitched episodes", rooms)
+				}
+				for _, st := range res.Stages {
+					if st.Count == 0 {
+						b.Fatalf("rooms=%d: stage %s never observed", rooms, st.Stage)
+					}
+					if st.P99 > budgets[st.Stage] {
+						b.Fatalf("rooms=%d: stage %s p99 %.3fs over its %.1fs budget carve",
+							rooms, st.Stage, st.P99, budgets[st.Stage])
+					}
+					p50[st.Stage] += st.P50
+					p99[st.Stage] += st.P99
+				}
+			}
+			for _, stg := range obs.Stages() {
+				name := stg.String()
+				b.ReportMetric(p50[name]/float64(b.N), name+"-p50-s")
+				b.ReportMetric(p99[name]/float64(b.N), name+"-p99-s")
+			}
 		})
 	}
 }

@@ -313,8 +313,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// Controllers (multi-primary). The instances share one Metrics so the
 	// room's counters and latency histograms aggregate across primaries.
 	var ctlMetrics *controller.Metrics
+	var stages *obs.StageMetrics
 	if cfg.Obs != nil {
 		ctlMetrics = controller.NewMetrics(cfg.Obs)
+		stages = obs.NewStageMetrics(cfg.Obs)
 	}
 	ctls := make([]*controller.Controller, cfg.Controllers)
 	for i := range ctls {
@@ -329,6 +331,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Scenario: *cfg.Scenario,
 			Metrics:  ctlMetrics,
 			Tracer:   cfg.Tracer,
+			Stages:   stages,
 			Recorder: cfg.Recorder,
 		})
 	}
@@ -348,6 +351,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Scenario:         *cfg.Scenario,
 			Buffer:           controller.DefaultBuffer(topo),
 			AllocatablePower: room.AllocatablePower(),
+			Stages:           stages,
 		})
 		if cfg.Obs != nil {
 			sampler = &tsdb.Sampler{Registry: cfg.Obs, Store: cfg.Safety.Store(), Clock: clk}

@@ -11,6 +11,7 @@ import (
 	"flex/internal/impact"
 	"flex/internal/milp"
 	"flex/internal/obs"
+	"flex/internal/obs/recorder"
 	"flex/internal/placement"
 	"flex/internal/power"
 	"flex/internal/rackmgr"
@@ -55,8 +56,18 @@ type FleetConfig struct {
 	// TraceSeed drives the placed demand trace.
 	TraceSeed int64
 	// Obs, when non-nil, instruments the run; fleet metrics, controller
-	// metrics, and ingest drop counters all register here.
+	// metrics, and ingest drop counters all register here. When nil the
+	// run still instruments itself on a private registry so the latency
+	// waterfalls (Episodes, Stages) are always produced.
 	Obs *obs.Registry
+	// Recorder, when non-nil, wires the flight recorder through the
+	// fleet: controllers allocate episode ids and emit causal chains, so
+	// stage exemplars and trace roots resolve to recorder events.
+	Recorder *recorder.Recorder
+	// Attach, when non-nil, is called with the live fleet after every
+	// room is added and before the first tick — the hook flexsim uses to
+	// mount /fleet and /fleet/traces while the emulation runs.
+	Attach func(*fleet.Fleet)
 }
 
 func (c *FleetConfig) fillDefaults() {
@@ -106,6 +117,11 @@ type FleetResult struct {
 	PerRoomStranded power.Watts
 	// Snapshot is the fleet aggregate after the final tick.
 	Snapshot fleet.Snapshot
+	// Episodes are the stitched per-episode stage waterfalls (newest
+	// first) — what /fleet/traces serves on a live fleet.
+	Episodes []fleet.EpisodeTrace
+	// Stages digests the fleet's per-stage latency histograms.
+	Stages []fleet.StageSummary
 }
 
 // fleetRoom is one room's live emulation state.
@@ -163,11 +179,20 @@ func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 	clk := clock.NewVirtual(start)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Always instrument: the latency waterfalls (Episodes, Stages) come
+	// from the fleet's tracer and stage histograms, which only exist with
+	// a registry — fall back to a private one when the caller brought
+	// none.
+	obsReg := cfg.Obs
+	if obsReg == nil {
+		obsReg = obs.NewRegistry()
+	}
 	fl := fleet.New(fleet.Config{
 		Name:       "emu-fleet",
 		Clock:      clk,
 		QueueDepth: cfg.QueueDepth,
-		Obs:        cfg.Obs,
+		Obs:        obsReg,
+		Recorder:   cfg.Recorder,
 	})
 
 	// Demand normalization, as in the single-room run.
@@ -221,6 +246,9 @@ func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 			fr.sims[j] = &rackSim{Rack: r, demand: 0.2}
 		}
 		rooms[i] = fr
+	}
+	if cfg.Attach != nil {
+		cfg.Attach(fl)
 	}
 
 	rackPowerOf := func(fr *fleetRoom, rs *rackSim) power.Watts {
@@ -317,7 +345,8 @@ func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 				fr.upsBatch = fr.upsBatch[:0]
 				for u := range topo.UPSes {
 					fr.upsBatch = append(fr.upsBatch, telemetry.Sample{
-						Device: topo.UPSes[u].Name, Power: truth[u], Valid: true, MeasuredAt: wall,
+						Device: topo.UPSes[u].Name, Power: truth[u], Valid: true,
+						MeasuredAt: wall, PublishedAt: wall,
 					})
 				}
 				fr.shard.IngestUPS(fr.upsBatch)
@@ -328,7 +357,8 @@ func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 				fr.rackBatch = fr.rackBatch[:0]
 				for _, rs := range fr.sims {
 					fr.rackBatch = append(fr.rackBatch, telemetry.Sample{
-						Device: rs.ID, Power: rackPowerOf(fr, rs), Valid: true, MeasuredAt: wall,
+						Device: rs.ID, Power: rackPowerOf(fr, rs), Valid: true,
+						MeasuredAt: wall, PublishedAt: wall,
 					})
 				}
 				fr.shard.IngestRacks(fr.rackBatch)
@@ -401,5 +431,7 @@ func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 		}
 	}
 	res.Snapshot = fl.AggregateOnce(clk.Now())
+	res.Episodes = fl.EpisodeTraces(0)
+	res.Stages = fl.StageSummaries()
 	return res, nil
 }

@@ -1,0 +1,180 @@
+package emu
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"flex/internal/fleet"
+	"flex/internal/obs"
+	"flex/internal/obs/recorder"
+	"flex/internal/obs/slo"
+)
+
+// TestFleetLatencyAttribution is the reconciliation contract of the
+// latency waterfalls: a recorded 10-room run must stitch the failed
+// room's overdraw episode into a waterfall whose per-stage totals tile
+// the episode span, the episode span must reconcile with the measured
+// detect→shed latency to within one telemetry cadence, every stage p99
+// must sit inside its carve of the 10s budget, and every stage exemplar
+// must resolve to a real flight-recorder event.
+func TestFleetLatencyAttribution(t *testing.T) {
+	rec := recorder.New(1 << 16)
+	res, err := RunFleet(context.Background(), FleetConfig{
+		Rooms: 10, FailRoom: 4, FailUPS: 1, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage digests: in timeline order, observed, inside the budget carve.
+	if len(res.Stages) != int(obs.NumStages) {
+		t.Fatalf("got %d stage digests, want %d", len(res.Stages), obs.NumStages)
+	}
+	budgets := slo.StageBudgets()
+	for i, stg := range obs.Stages() {
+		st := res.Stages[i]
+		if st.Stage != stg.String() {
+			t.Fatalf("stage %d = %q, want %q (timeline order)", i, st.Stage, stg)
+		}
+		if st.Count == 0 {
+			t.Fatalf("stage %s never observed", st.Stage)
+		}
+		if b := budgets[stg].Seconds(); st.P99 > b {
+			t.Fatalf("stage %s p99 %.3fs over its %.1fs budget carve", st.Stage, st.P99, b)
+		}
+		if st.Exemplar == nil {
+			t.Fatalf("stage %s has no exemplar", st.Stage)
+		}
+		if st.Exemplar.Episode == 0 || st.Exemplar.Event == 0 {
+			t.Fatalf("stage %s exemplar not joined to the recorder: %+v", st.Stage, st.Exemplar)
+		}
+		evs := rec.Query(recorder.Filter{MinSeq: st.Exemplar.Event, MaxSeq: st.Exemplar.Event})
+		if len(evs) != 1 {
+			t.Fatalf("stage %s exemplar event %d not found in the recorder", st.Stage, st.Exemplar.Event)
+		}
+		if evs[0].Episode != st.Exemplar.Episode {
+			t.Fatalf("stage %s exemplar event %d belongs to episode %d, exemplar says %d",
+				st.Stage, st.Exemplar.Event, evs[0].Episode, st.Exemplar.Episode)
+		}
+	}
+	// The aggregator folds the same digests into the fleet snapshot.
+	if len(res.Snapshot.Stages) != int(obs.NumStages) {
+		t.Fatalf("snapshot carries %d stage digests, want %d", len(res.Snapshot.Stages), obs.NumStages)
+	}
+
+	// The failed room's stitched waterfall.
+	var ep *fleet.EpisodeTrace
+	for i := range res.Episodes {
+		if res.Episodes[i].Room == "room-004" {
+			ep = &res.Episodes[i]
+			break
+		}
+	}
+	if ep == nil {
+		t.Fatalf("no stitched episode for room-004 in %d episodes", len(res.Episodes))
+	}
+	if ep.Root == 0 {
+		t.Fatal("failed room's episode has no recorder root")
+	}
+	if chain := rec.Query(recorder.Filter{Episode: ep.Episode}); len(chain) == 0 {
+		t.Fatalf("episode %d resolves to no recorder events", ep.Episode)
+	}
+	var sum float64
+	for _, v := range ep.TotalsSeconds {
+		sum += v
+	}
+	if math.Abs(sum-ep.TotalSeconds) > 1e-6 {
+		t.Fatalf("stage totals %.6fs do not tile the %.6fs episode span", sum, ep.TotalSeconds)
+	}
+	if d := math.Abs(res.ShedLatency.Seconds() - ep.TotalSeconds); d > 2.5 {
+		t.Fatalf("episode span %.3fs vs measured shed latency %v: off by %.3fs, want within 2.5s",
+			ep.TotalSeconds, res.ShedLatency, d)
+	}
+	// Spans are offset-ordered and stay inside the episode.
+	for _, sp := range ep.Stages {
+		if sp.OffsetSeconds < 0 || sp.OffsetSeconds+sp.DurationSeconds > ep.TotalSeconds+1e-6 {
+			t.Fatalf("span %+v escapes the [0, %.3fs] episode window", sp, ep.TotalSeconds)
+		}
+	}
+}
+
+// TestFleetTracesHandler drives a recorded fleet run, then serves the
+// live fleet's /fleet/traces endpoint and checks the JSON shape plus the
+// ?episode= and ?limit= filters.
+func TestFleetTracesHandler(t *testing.T) {
+	var fl *fleet.Fleet
+	rec := recorder.New(1 << 16)
+	res, err := RunFleet(context.Background(), FleetConfig{
+		Rooms: 3, FailRoom: 1, Recorder: rec,
+		Attach: func(f *fleet.Fleet) { fl = f },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl == nil {
+		t.Fatal("Attach never ran")
+	}
+	if len(res.Episodes) == 0 {
+		t.Fatal("run produced no episodes")
+	}
+
+	srv := httptest.NewServer(fl.TracesHandler())
+	defer srv.Close()
+
+	get := func(url string) (struct {
+		Episodes []fleet.EpisodeTrace `json:"episodes"`
+		Stages   []fleet.StageSummary `json:"stages"`
+	}, int) {
+		var out struct {
+			Episodes []fleet.EpisodeTrace `json:"episodes"`
+			Stages   []fleet.StageSummary `json:"stages"`
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatalf("%s: %v", url, err)
+			}
+		}
+		return out, resp.StatusCode
+	}
+
+	full, code := get(srv.URL)
+	if code != http.StatusOK {
+		t.Fatalf("GET /fleet/traces = %d", code)
+	}
+	if len(full.Episodes) != len(res.Episodes) {
+		t.Fatalf("handler served %d episodes, run produced %d", len(full.Episodes), len(res.Episodes))
+	}
+	if len(full.Stages) != int(obs.NumStages) {
+		t.Fatalf("handler served %d stage digests, want %d", len(full.Stages), obs.NumStages)
+	}
+
+	want := res.Episodes[0].Episode
+	one, code := get(fmt.Sprintf("%s?episode=%d", srv.URL, want))
+	if code != http.StatusOK {
+		t.Fatalf("GET ?episode=%d = %d", want, code)
+	}
+	if len(one.Episodes) != 1 || one.Episodes[0].Episode != want {
+		t.Fatalf("?episode=%d returned %+v", want, one.Episodes)
+	}
+
+	lim, code := get(srv.URL + "?limit=1")
+	if code != http.StatusOK || len(lim.Episodes) != 1 {
+		t.Fatalf("?limit=1 returned %d episodes (status %d), want 1", len(lim.Episodes), code)
+	}
+	if _, code := get(srv.URL + "?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("?limit=bogus = %d, want 400", code)
+	}
+	if _, code := get(srv.URL + "?episode=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("?episode=bogus = %d, want 400", code)
+	}
+}

@@ -56,6 +56,10 @@ type Snapshot struct {
 	CommittedHeadroom power.Watts `json:"committed_headroom_watts"`
 	// DroppedSamples totals ingest-queue evictions across shards.
 	DroppedSamples int `json:"dropped_samples"`
+	// Stages digests the fleet's critical-path latency histograms
+	// (per-stage count/p50/p99 with exemplar joins), in timeline order.
+	// Nil when the fleet has no registry.
+	Stages []StageSummary `json:"stages,omitempty"`
 }
 
 // roomStatus computes one shard's status at time now.
@@ -134,6 +138,7 @@ func (f *Fleet) AggregateOnce(now time.Time) Snapshot {
 		worst = slo.Worst(worst, st.State)
 	}
 	snap.State = worst
+	snap.Stages = f.StageSummaries()
 	f.mu.Lock()
 	f.snap = snap
 	f.hasSnap = true

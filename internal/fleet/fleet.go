@@ -111,6 +111,8 @@ type Fleet struct {
 	cfg     Config
 	broker  *telemetry.Broker
 	metrics *Metrics
+	tracer  *obs.Tracer
+	stages  *obs.StageMetrics
 
 	mu      sync.Mutex
 	shards  map[string]*Shard
@@ -130,10 +132,28 @@ func New(cfg Config) *Fleet {
 	if cfg.Obs != nil {
 		f.metrics = NewMetrics(cfg.Obs)
 		f.broker.Metrics = telemetry.NewMetrics(cfg.Obs)
+		// One tracer and one stage-histogram family for the whole fleet:
+		// every shard's controllers feed them, so /fleet/traces stitches
+		// cross-shard episodes from one ring and the per-stage p50/p99
+		// gauges aggregate fleet-wide.
+		f.tracer = obs.NewTracer(fleetTraceCapacity)
+		f.stages = obs.NewStageMetrics(cfg.Obs)
 	}
 	f.broker.Recorder = cfg.Recorder
 	return f
 }
+
+// fleetTraceCapacity sizes the fleet's shared trace ring: large enough
+// that a 100-room fleet's concurrent overdraw rounds don't evict an
+// episode mid-stitch.
+const fleetTraceCapacity = 4096
+
+// Tracer exposes the fleet's shared span tracer (nil without Config.Obs).
+func (f *Fleet) Tracer() *obs.Tracer { return f.tracer }
+
+// Stages exposes the fleet's shared per-stage latency histograms (nil
+// without Config.Obs).
+func (f *Fleet) Stages() *obs.StageMetrics { return f.stages }
 
 // AddRoom creates the room's shard: telemetry views, bounded ingest
 // subscriptions on the fleet bus, and the shard's controller instances.

@@ -77,6 +77,8 @@ func newShard(f *Fleet, rc RoomConfig) *Shard {
 			Interval:   rc.Interval,
 			PlanBudget: rc.PlanBudget,
 			Metrics:    ctlMetrics,
+			Tracer:     f.tracer,
+			Stages:     f.stages,
 			Recorder:   f.cfg.Recorder,
 		})
 	}
@@ -102,14 +104,21 @@ func (s *Shard) IngestRacks(batch []telemetry.Sample) {
 }
 
 // Pump drains the shard's ingest queues into its telemetry views and
-// returns how many samples it moved. The emulator and tests call it
-// directly for deterministic schedules; Start's loop calls it each round.
+// returns how many samples it moved. Each drained sample is stamped with
+// the dequeue instant (one clock read per batch) so the queue-wait stage
+// of the latency waterfall is attributable. The emulator and tests call
+// it directly for deterministic schedules; Start's loop calls it each
+// round.
 func (s *Shard) Pump() int {
 	n := 0
 	for {
 		k := s.upsSub.RecvBatch(s.buf)
-		for i := 0; i < k; i++ {
-			s.upsView.Update(s.buf[i])
+		if k > 0 {
+			at := s.fleet.cfg.Clock.Now()
+			for i := 0; i < k; i++ {
+				s.buf[i].DequeuedAt = at
+				s.upsView.Update(s.buf[i])
+			}
 		}
 		n += k
 		if k < len(s.buf) {
@@ -118,8 +127,12 @@ func (s *Shard) Pump() int {
 	}
 	for {
 		k := s.rackSub.RecvBatch(s.buf)
-		for i := 0; i < k; i++ {
-			s.rackView.Update(s.buf[i])
+		if k > 0 {
+			at := s.fleet.cfg.Clock.Now()
+			for i := 0; i < k; i++ {
+				s.buf[i].DequeuedAt = at
+				s.rackView.Update(s.buf[i])
+			}
 		}
 		n += k
 		if k < len(s.buf) {

@@ -103,6 +103,39 @@ type Histogram struct {
 	counts  []atomic.Uint64 // len(upper)+1; last bucket is +Inf
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds one last-write-wins exemplar slot per bucket,
+	// pre-allocated at construction so ObserveExemplar stays
+	// allocation-free on the hot path.
+	exemplars []exemplarSlot
+}
+
+// Exemplar joins one histogram observation back to its flight-recorder
+// context: the episode it belonged to, the span trace that timed it, and
+// the recorder sequence of the event that rooted it. All fields are
+// fixed-size, so attaching an exemplar allocates nothing. A slow bucket
+// is then one click from its event chain: /events?episode=<Episode> or
+// /traces?episode=<Episode> resolves it.
+type Exemplar struct {
+	// Value is the observed value the exemplar annotates (seconds for
+	// latency histograms).
+	Value float64
+	// Episode is the flight-recorder episode id (0 when unrecorded).
+	Episode uint64
+	// Trace is the span-tracer sequence of the trace that measured the
+	// observation (0 when untraced).
+	Trace uint64
+	// Seq is the recorder sequence of the rooting event — for stage
+	// latencies, the detect event (0 when unrecorded).
+	Seq uint64
+	// At is the caller-supplied observation time (injected clock).
+	At time.Time
+}
+
+// exemplarSlot is one per-bucket last-write-wins exemplar cell.
+type exemplarSlot struct {
+	mu  sync.Mutex
+	set bool
+	ex  Exemplar
 }
 
 // Observe records v.
@@ -128,6 +161,57 @@ func (h *Histogram) Observe(v float64) {
 //
 //flex:hotpath
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records v and attaches ex to v's bucket (last write
+// wins per bucket). ex.Value is overwritten with v so the exemplar
+// always describes the observation it rode in on. The slot is
+// pre-allocated and fixed-size, so the call allocates nothing — it sits
+// on the controller step hot path.
+//
+//flex:hotpath
+func (h *Histogram) ObserveExemplar(v float64, ex Exemplar) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	ex.Value = v
+	slot := &h.exemplars[i]
+	slot.mu.Lock()
+	slot.ex = ex
+	slot.set = true
+	slot.mu.Unlock()
+}
+
+// Exemplars returns the currently held exemplars in bucket order (cold
+// path; export and debugging).
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		slot := &h.exemplars[i]
+		slot.mu.Lock()
+		if slot.set {
+			out = append(out, slot.ex)
+		}
+		slot.mu.Unlock()
+	}
+	return out
+}
+
+// Summary returns a point-in-time histogram Snapshot (Count, Sum,
+// Buckets) without going through a Registry — the quantile math on
+// Snapshot then applies to any live histogram handle.
+func (h *Histogram) Summary() Snapshot {
+	return Snapshot{Kind: KindHistogram, Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -250,7 +334,11 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	upper := append([]float64(nil), buckets...)
 	sort.Float64s(upper)
-	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		counts:    make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]exemplarSlot, len(upper)+1),
+	}
 }
 
 // Counter registers (or returns) a counter.
@@ -303,6 +391,26 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 // first use. Call at wiring time, not per observation.
 func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.m.child(values).gauge
+}
+
+// HistogramVec is a histogram family with labels. Children share the
+// family's bucket bounds and are pre-bound with With at wiring time; the
+// returned *Histogram is then allocation-free on the hot path.
+type HistogramVec struct{ m *metric }
+
+// HistogramVec registers (or returns) a labelled histogram family with
+// the given bucket upper bounds (nil selects LatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec " + name + " needs at least one label")
+	}
+	return &HistogramVec{m: r.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// With returns the child histogram for the given label values, creating
+// it on first use. Call at wiring time, not per observation.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.m.child(values).hist
 }
 
 // child returns the pre-bound child for values, creating it if needed.

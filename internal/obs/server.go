@@ -33,6 +33,9 @@ type ServerConfig struct {
 	// snapshot (fleet.Fleet.Handler). Same http.Handler indirection as
 	// Query/SLO/Health — the fleet package imports obs.
 	Fleet http.Handler
+	// FleetTraces is optional, mounted at /fleet/traces: stitched
+	// per-episode stage waterfalls (fleet.Fleet.TracesHandler).
+	FleetTraces http.Handler
 }
 
 // NewHandler returns the live introspection surface:
@@ -54,6 +57,9 @@ type ServerConfig struct {
 //	/healthz       ready/degraded/unsafe verdict (when Health is wired)
 //	/fleet         fleet aggregator snapshot (when Fleet is wired);
 //	               ?room=NAME narrows to one room's status
+//	/fleet/traces  stitched per-episode stage waterfalls (when FleetTraces
+//	               is wired); ?episode=N narrows to one episode,
+//	               ?limit=K keeps the newest K episodes
 //
 // Mount it behind an opt-in -listen flag; the handler itself performs no
 // authentication.
@@ -77,6 +83,9 @@ func NewHandler(cfg ServerConfig) http.Handler {
 		}
 		if cfg.Fleet != nil {
 			index += "  /fleet\n"
+		}
+		if cfg.FleetTraces != nil {
+			index += "  /fleet/traces\n"
 		}
 		_, _ = w.Write([]byte(index))
 	})
@@ -133,6 +142,9 @@ func NewHandler(cfg ServerConfig) http.Handler {
 	}
 	if cfg.Fleet != nil {
 		mux.Handle("/fleet", cfg.Fleet)
+	}
+	if cfg.FleetTraces != nil {
+		mux.Handle("/fleet/traces", cfg.FleetTraces)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -19,6 +19,9 @@
 //	                   UPS u, re-run Algorithm 1 against live telemetry
 //	                   assuming u just failed — a feasible shed plan must
 //	                   exist inside the planning budget
+//	stage-budget       every critical-path stage's p99 latency stays
+//	                   inside its carve of the 10s budget (StageBudgets);
+//	                   requires Bindings.Stages
 //
 // Breaches and recoveries are emitted as flight-recorder events
 // (slo-breach / slo-recover / probe-fail) carrying the open episode ID,
@@ -44,6 +47,7 @@ import (
 	"flex/internal/clock"
 	"flex/internal/controller"
 	"flex/internal/impact"
+	"flex/internal/obs"
 	"flex/internal/obs/recorder"
 	"flex/internal/obs/tsdb"
 	"flex/internal/power"
@@ -65,11 +69,30 @@ const (
 
 // Objective names.
 const (
-	ObjShedBudget = "shed-budget"
-	ObjUPSFresh   = "ups-freshness"
-	ObjRackFresh  = "rack-freshness"
-	ObjProbe      = "probe-feasibility"
+	ObjShedBudget  = "shed-budget"
+	ObjUPSFresh    = "ups-freshness"
+	ObjRackFresh   = "rack-freshness"
+	ObjProbe       = "probe-feasibility"
+	ObjStageBudget = "stage-budget"
 )
+
+// StageBudgets carves the 10s detect→act budget (power.FlexLatencyBudget)
+// into per-stage sub-budgets — the latency SLO each critical-path stage
+// is held to. The carve reflects where a healthy deployment spends the
+// window: most of it on telemetry cadence (sample), the rest split across
+// ingest, view merge, and the controller's detect/plan/act compute. The
+// entries sum exactly to the full budget, so "every stage within its
+// sub-budget" implies "the end-to-end path within the window".
+func StageBudgets() [obs.NumStages]time.Duration {
+	var b [obs.NumStages]time.Duration
+	b[obs.StageSample] = 3 * time.Second
+	b[obs.StageQueue] = 1500 * time.Millisecond
+	b[obs.StageView] = 1500 * time.Millisecond
+	b[obs.StageDetect] = time.Second
+	b[obs.StagePlan] = 2 * time.Second
+	b[obs.StageAct] = time.Second
+	return b
+}
 
 // Defaults.
 const (
@@ -140,6 +163,11 @@ type Bindings struct {
 	Buffer   power.Watts
 	// AllocatablePower is the room's allocatable power (Eq. 5's minuend).
 	AllocatablePower power.Watts
+	// Stages, when non-nil, are the per-stage critical-path latency
+	// histograms the controllers feed (controller.Config.Stages); the
+	// stage-budget objective audits their p99s against StageBudgets and
+	// Status.Stages exports the breakdown.
+	Stages *obs.StageMetrics
 }
 
 // objective tracks one SLO's bad-indicator series and breach state.
@@ -256,6 +284,7 @@ func NewAuditor(cfg Config) *Auditor {
 		{ObjUPSFresh, false},
 		{ObjRackFresh, false},
 		{ObjProbe, true},
+		{ObjStageBudget, false},
 	} {
 		ob := &objective{
 			name:      o.name,
@@ -428,6 +457,18 @@ func (a *Auditor) Tick(ctx context.Context, now time.Time) {
 	a.byName[ObjShedBudget].bad = episodeOpen
 	a.byName[ObjUPSFresh].bad = upsOK && upsOld > a.cfg.UPSFreshness
 	a.byName[ObjRackFresh].bad = rackOK && rackOld > a.cfg.RackFreshness
+	stageBad := false
+	if b.Stages != nil {
+		budgets := StageBudgets()
+		for _, stg := range obs.Stages() {
+			sum := b.Stages.Histogram(stg).Summary()
+			if sum.Count > 0 && sum.Quantile(0.99) > budgets[stg].Seconds() {
+				stageBad = true
+				break
+			}
+		}
+	}
+	a.byName[ObjStageBudget].bad = stageBad
 
 	budgetRate := 1 - a.cfg.Target
 	for _, o := range a.objectives {
@@ -573,6 +614,24 @@ type Status struct {
 	Probe       Probe   `json:"probe"`
 	Health      Health  `json:"health"`
 	Ticks       uint64  `json:"ticks"`
+	// Stages is the critical-path latency breakdown against StageBudgets
+	// (empty without Bindings.Stages), in timeline order.
+	Stages []StageStatus `json:"stages,omitempty"`
+}
+
+// StageStatus is one critical-path stage's latency digest against its
+// sub-budget, with the exemplar join of its slowest populated bucket.
+type StageStatus struct {
+	Name          string  `json:"name"`
+	Count         uint64  `json:"count"`
+	P50           float64 `json:"p50_seconds"`
+	P99           float64 `json:"p99_seconds"`
+	BudgetSeconds float64 `json:"budget_seconds"`
+	OverBudget    bool    `json:"over_budget,omitempty"`
+	// Episode / Event join the stage's slowest exemplar back to the
+	// flight recorder (/events?episode=, /events?since=Event-1).
+	Episode uint64 `json:"episode,omitempty"`
+	Event   uint64 `json:"event,omitempty"`
 }
 
 // Probe is the exported what-if probe state.
@@ -615,6 +674,31 @@ func (a *Auditor) Status() Status {
 		})
 	}
 	sort.Slice(st.Objectives, func(i, j int) bool { return st.Objectives[i].Name < st.Objectives[j].Name })
+	if a.bound && a.b.Stages != nil {
+		budgets := StageBudgets()
+		for _, stg := range obs.Stages() {
+			h := a.b.Stages.Histogram(stg)
+			sum := h.Summary()
+			ss := StageStatus{
+				Name:          stg.String(),
+				Count:         sum.Count,
+				P50:           sum.Quantile(0.50),
+				P99:           sum.Quantile(0.99),
+				BudgetSeconds: budgets[stg].Seconds(),
+			}
+			ss.OverBudget = sum.Count > 0 && ss.P99 > ss.BudgetSeconds
+			if exs := h.Exemplars(); len(exs) > 0 {
+				worst := exs[0]
+				for _, e := range exs[1:] {
+					if e.Value > worst.Value {
+						worst = e
+					}
+				}
+				ss.Episode, ss.Event = worst.Episode, worst.Seq
+			}
+			st.Stages = append(st.Stages, ss)
+		}
+	}
 	if sb, ok := a.byName[ObjShedBudget]; ok {
 		st.EpisodeOpen = sb.bad
 		if sb.bad {

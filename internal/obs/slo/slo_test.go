@@ -180,8 +180,8 @@ func TestSteadyStateReady(t *testing.T) {
 	if st.Probe.Rounds != 1 || st.Probe.Failures != 0 || st.Probe.CleanRounds != 1 {
 		t.Fatalf("probe = %+v, want one clean round", st.Probe)
 	}
-	if len(st.Objectives) != 4 {
-		t.Fatalf("objectives = %d, want 4", len(st.Objectives))
+	if len(st.Objectives) != 5 {
+		t.Fatalf("objectives = %d, want 5", len(st.Objectives))
 	}
 	for _, o := range st.Objectives {
 		if o.Bad || o.Breached {
@@ -477,7 +477,7 @@ func TestHandlers(t *testing.T) {
 	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
 		t.Fatalf("/slo decode: %v", err)
 	}
-	if len(st.Objectives) != 4 || st.Ticks != 1 {
+	if len(st.Objectives) != 5 || st.Ticks != 1 {
 		t.Fatalf("/slo = %+v", st)
 	}
 

@@ -36,12 +36,20 @@ type Trace struct {
 	// this trace belongs to (0 when none) — the join key between /traces
 	// entries and /events streams (query the latter with ?episode=<id>).
 	Episode uint64 `json:"episode,omitempty"`
+	// Root is the flight-recorder sequence of the event that rooted this
+	// trace (for controller steps, the detect event; 0 when unrecorded) —
+	// resolve it with /events?since=<Root> to land on the causal chain.
+	Root uint64 `json:"root,omitempty"`
 
 	tracer *Tracer
 }
 
 // SetEpisode tags the trace with a flight-recorder episode ID.
 func (t *Trace) SetEpisode(id uint64) { t.Episode = id }
+
+// SetRoot records the flight-recorder sequence of the trace's rooting
+// event (the detect event for controller steps).
+func (t *Trace) SetRoot(seq uint64) { t.Root = seq }
 
 // Span appends a completed stage.
 func (t *Trace) Span(name string, start, end time.Time) {
@@ -133,6 +141,7 @@ type traceJSON struct {
 	DurationSeconds float64    `json:"duration_seconds"`
 	Note            string     `json:"note,omitempty"`
 	Episode         uint64     `json:"episode,omitempty"`
+	Root            uint64     `json:"root,omitempty"`
 	Spans           []spanJSON `json:"spans"`
 }
 
@@ -202,6 +211,7 @@ func (tr *Tracer) WriteJSONFiltered(w io.Writer, f TraceFilter) error {
 			DurationSeconds: t.Duration().Seconds(),
 			Note:            t.Note,
 			Episode:         t.Episode,
+			Root:            t.Root,
 			Spans:           make([]spanJSON, len(t.Spans)),
 		}
 		for j, s := range t.Spans {

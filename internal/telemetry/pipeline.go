@@ -182,9 +182,13 @@ func (p *Pipeline) SubscribeAll(topic string, view *LatestPower) (cancel func())
 						}
 						continue
 					}
+					// Stamp the dequeue instant before the view installs the
+					// sample: PublishedAt→DequeuedAt is the queue-wait stage.
+					now := p.Clock.Now()
+					s.DequeuedAt = now
 					view.Update(s)
 					if p.Metrics != nil {
-						p.Metrics.PublishLag.ObserveDuration(p.Clock.Now().Sub(s.MeasuredAt))
+						p.Metrics.PublishLag.ObserveDuration(now.Sub(s.MeasuredAt))
 					}
 				case <-done:
 					return

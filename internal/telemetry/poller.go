@@ -85,6 +85,10 @@ func (p *Poller) PollOnce() {
 		if len(p.batch) == 0 {
 			return
 		}
+		// Stamp the batch at the moment it enters the brokers; the gap
+		// back to MeasuredAt is the "sample" stage of the latency
+		// waterfall (meter read + consensus + batching).
+		StampPublished(p.batch, p.Clock.Now())
 		for _, b := range p.Brokers {
 			b.PublishBatch(topic, p.batch)
 			if p.Metrics != nil {
@@ -191,24 +195,36 @@ func (d *Deduper) Fresh(s Sample) bool {
 	return true
 }
 
+// Stamps is the per-device ingest timeline retained by LatestPower: the
+// birth timestamps of the sample currently installed in the view. Zero
+// fields mean the corresponding stage was never stamped (e.g. a producer
+// that predates stamping, or a view fed directly without a broker).
+type Stamps struct {
+	MeasuredAt  time.Time
+	PublishedAt time.Time
+	DequeuedAt  time.Time
+}
+
 // LatestPower is a thread-safe view of the most recent valid power per
 // device, assembled from deduplicated samples — the controller's power
 // snapshot (Algorithm 1 lines 2–3).
 type LatestPower struct {
-	mu    sync.Mutex
-	power map[string]power.Watts
-	at    map[string]time.Time
-	event map[string]uint64
-	rec   *recorder.Recorder
-	role  string
+	mu     sync.Mutex
+	power  map[string]power.Watts
+	at     map[string]time.Time
+	stamps map[string]Stamps
+	event  map[string]uint64
+	rec    *recorder.Recorder
+	role   string
 }
 
 // NewLatestPower returns an empty view.
 func NewLatestPower() *LatestPower {
 	return &LatestPower{
-		power: make(map[string]power.Watts),
-		at:    make(map[string]time.Time),
-		event: make(map[string]uint64),
+		power:  make(map[string]power.Watts),
+		at:     make(map[string]time.Time),
+		stamps: make(map[string]Stamps),
+		event:  make(map[string]uint64),
 	}
 }
 
@@ -235,6 +251,11 @@ func (l *LatestPower) Update(s Sample) {
 	}
 	l.power[s.Device] = s.Power
 	l.at[s.Device] = s.MeasuredAt
+	l.stamps[s.Device] = Stamps{
+		MeasuredAt:  s.MeasuredAt,
+		PublishedAt: s.PublishedAt,
+		DequeuedAt:  s.DequeuedAt,
+	}
 	rec, role := l.rec, l.role
 	l.mu.Unlock()
 	if rec == nil {
@@ -272,6 +293,16 @@ func (l *LatestPower) GetEvent(device string) (power.Watts, time.Time, uint64, b
 	defer l.mu.Unlock()
 	v, ok := l.power[device]
 	return v, l.at[device], l.event[device], ok
+}
+
+// GetStamps returns the ingest timeline of device's installed sample —
+// the birth stamps the latency-attribution waterfall opens with.
+// ok=false when the device has never reported.
+func (l *LatestPower) GetStamps(device string) (Stamps, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.stamps[device]
+	return st, ok
 }
 
 // Snapshot copies the current view.

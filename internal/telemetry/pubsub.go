@@ -27,6 +27,31 @@ type Sample struct {
 	// sample-publish event (0 when unrecorded); downstream events
 	// reference it as their Cause, rooting the causal chain.
 	Event uint64
+	// PublishedAt is when the sample entered a broker (stamped by the
+	// publisher, from its injected clock, just before PublishBatch).
+	// Zero when the producer predates stamping. Fixed-size so the stamp
+	// survives batch coalescing and gob transport without allocating.
+	PublishedAt time.Time
+	// DequeuedAt is when a consumer pulled the sample out of its ingest
+	// queue (stamped by the consumer, never by the broker). Together
+	// with MeasuredAt and PublishedAt it decomposes sample age into the
+	// sample/queue stages of the latency-attribution waterfall
+	// (DESIGN.md "Latency attribution").
+	DequeuedAt time.Time
+}
+
+// StampPublished sets PublishedAt=at on every sample in batch that does
+// not already carry a publish stamp. Callers stamp immediately before
+// PublishBatch; the helper is a plain field loop so it stays on the
+// zero-alloc ingest path.
+//
+//flex:hotpath
+func StampPublished(batch []Sample, at time.Time) {
+	for i := range batch {
+		if batch[i].PublishedAt.IsZero() {
+			batch[i].PublishedAt = at
+		}
+	}
 }
 
 // Subscription receives samples for one topic. Drop-oldest semantics keep
